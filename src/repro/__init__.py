@@ -1,0 +1,37 @@
+"""repro — Critical-word-first heterogeneous DRAM memory simulator.
+
+A from-scratch Python reproduction of *"Leveraging Heterogeneity in DRAM
+Main Memories to Accelerate Critical Word Access"* (MICRO 2012): a
+cycle-level DRAM simulator for DDR3 / LPDDR2 / RLDRAM3, a USIMM-style
+multi-core front end, the paper's heterogeneous critical-word-first
+memory organisations, and an experiment harness regenerating every
+table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import SimConfig, MemoryKind, run_benchmark
+
+    config = SimConfig(target_dram_reads=4000)
+    base = run_benchmark("leslie3d", config.with_memory(MemoryKind.DDR3))
+    rl = run_benchmark("leslie3d", config.with_memory(MemoryKind.RL))
+    print(f"RL speedup: {rl.speedup_over(base):.3f}")
+"""
+
+from repro.sim.config import MemoryKind, SimConfig, TABLE1
+from repro.sim.system import SimResult, SimulationSystem, run_benchmark, make_traces
+from repro.core.cwf import CriticalWordMemory, CWFConfig, CWFPolicy, HeteroPair
+from repro.core.criticality import CriticalityProfiler
+from repro.core.placement import PagePlacementMemory
+from repro.memsys.homogeneous import HomogeneousMemory
+from repro.workloads.profiles import PROFILES, benchmark_names, profile_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemoryKind", "SimConfig", "TABLE1",
+    "SimResult", "SimulationSystem", "run_benchmark", "make_traces",
+    "CriticalWordMemory", "CWFConfig", "CWFPolicy", "HeteroPair",
+    "CriticalityProfiler", "PagePlacementMemory", "HomogeneousMemory",
+    "PROFILES", "benchmark_names", "profile_for",
+    "__version__",
+]

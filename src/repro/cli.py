@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    repro-experiment list
+    repro-experiment fig6                 # regenerate Figure 6
+    repro-experiment all                  # everything (slow)
+    repro-experiment fig6 --reads 20000 --benchmarks leslie3d,mcf
+
+Results print as text tables; ``--output`` appends them to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import ExperimentConfig, default_config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate tables and figures from the paper.")
+    parser.add_argument("experiment",
+                        help="experiment id (see 'list'), or 'all'/'list'")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="target demand DRAM fetches per run")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--cache", default=None,
+                        help="cache directory, or 'off'")
+    parser.add_argument("--output", default=None,
+                        help="append formatted tables to this file")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = default_config()
+    kwargs = {}
+    if args.reads is not None:
+        kwargs["target_dram_reads"] = args.reads
+    if args.benchmarks is not None:
+        kwargs["benchmarks"] = tuple(b for b in args.benchmarks.split(",") if b)
+    if args.cache is not None:
+        kwargs["cache_dir"] = None if args.cache == "off" else args.cache
+    if kwargs:
+        from dataclasses import replace
+        config = replace(config, **kwargs)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for key in ALL_EXPERIMENTS:
+            print(key)
+        return 0
+    keys = (list(ALL_EXPERIMENTS) if args.experiment == "all"
+            else [args.experiment])
+    unknown = [k for k in keys if k not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    config = make_config(args)
+    for key in keys:
+        start = time.time()
+        table = ALL_EXPERIMENTS[key](config)
+        text = table.format()
+        print(text)
+        print(f"[{key} took {time.time() - start:.1f}s]\n")
+        if args.output:
+            with open(args.output, "a") as handle:
+                handle.write(text + "\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

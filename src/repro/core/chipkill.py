@@ -1,0 +1,158 @@
+"""Chipkill-class symbol error correction (paper Sec 4.2.3 extension).
+
+The paper notes that its lightweight-detection / full-correction split
+"can also be extended to handle other fault tolerance solutions such as
+chipkill". Chipkill treats each DRAM chip's contribution to a beat as
+one *symbol* and corrects the loss of an entire chip. This module
+implements the standard construction: a distance-3 Reed-Solomon code
+over GF(2^8) with two check symbols — RS(n, n-2) — which corrects any
+single symbol (= single chip) error per codeword.
+
+For the paper's 8-chip LPDRAM rank, a beat contributes 8 data symbols;
+two additional check symbols would ride on two extra chips (the
+baseline's ECC chip plus one more — the standard chipkill capacity
+cost). The CWF protocol is unchanged: the RLDRAM fast word still uses
+byte parity for the early wake, and the trailing chipkill check
+corrects/panics exactly like SECDED, with chip-granularity coverage.
+
+Implementation notes: GF(2^8) with the primitive polynomial 0x11D
+(x^8+x^4+x^3+x^2+1, the usual Reed-Solomon choice — alpha = 2 generates
+the multiplicative group, unlike the AES polynomial); syndromes
+``S0 = Σ c_i`` and ``S1 = Σ c_i·α^i``; a single error of magnitude
+``e`` at position ``j`` gives ``S0 = e`` and ``S1 = e·α^j``, so
+``j = log(S1) − log(S0)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1; alpha = 0x02 is primitive
+
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for i in range(255):
+        _EXP[i] = value
+        _LOG[value] = i
+        value <<= 1
+        if value & 0x100:
+            value ^= _POLY
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(2^8); b must be non-zero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def gf_pow_alpha(i: int) -> int:
+    """alpha^i for the generator alpha = 0x02."""
+    return _EXP[i % 255]
+
+
+class ChipkillCode:
+    """RS(n, n-2) over GF(2^8): corrects one symbol (chip) per codeword.
+
+    ``data_symbols`` is the number of data chips contributing to a beat
+    (8 for the paper's 64-bit rank). The codeword appends two check
+    symbols; total length must stay <= 255.
+    """
+
+    def __init__(self, data_symbols: int = 8) -> None:
+        if not 1 <= data_symbols <= 253:
+            raise ValueError("data_symbols must be in 1..253")
+        self.data_symbols = data_symbols
+        self.codeword_symbols = data_symbols + 2
+
+    # ------------------------------------------------------------------
+
+    def encode(self, data: List[int]) -> List[int]:
+        """Append two check symbols so that S0 = S1 = 0."""
+        if len(data) != self.data_symbols:
+            raise ValueError(f"need {self.data_symbols} symbols")
+        if any(not 0 <= s <= 0xFF for s in data):
+            raise ValueError("symbols must be bytes")
+        n = self.codeword_symbols
+        p_pos, q_pos = n - 2, n - 1
+        s0 = 0
+        s1 = 0
+        for i, symbol in enumerate(data):
+            s0 ^= symbol
+            s1 ^= gf_mul(symbol, gf_pow_alpha(i))
+        # Solve p + q = s0 ; p*a^p_pos + q*a^q_pos = s1.
+        ap, aq = gf_pow_alpha(p_pos), gf_pow_alpha(q_pos)
+        denom = ap ^ aq
+        p = gf_div(s1 ^ gf_mul(s0, aq), denom)
+        q = s0 ^ p
+        return list(data) + [p, q]
+
+    # ------------------------------------------------------------------
+
+    def syndromes(self, codeword: List[int]) -> Tuple[int, int]:
+        s0 = 0
+        s1 = 0
+        for i, symbol in enumerate(codeword):
+            s0 ^= symbol
+            s1 ^= gf_mul(symbol, gf_pow_alpha(i))
+        return s0, s1
+
+    def decode(self, codeword: List[int]
+               ) -> Tuple[Optional[List[int]], str]:
+        """Correct up to one symbol error.
+
+        Returns ``(data, status)``; status is ``"ok"``, ``"corrected"``
+        (with the failing symbol index recoverable from the syndromes),
+        or ``"detected"`` for uncorrectable (multi-symbol) corruption.
+        """
+        if len(codeword) != self.codeword_symbols:
+            raise ValueError(f"need {self.codeword_symbols} symbols")
+        s0, s1 = self.syndromes(codeword)
+        if s0 == 0 and s1 == 0:
+            return list(codeword[:self.data_symbols]), "ok"
+        if s0 == 0 or s1 == 0:
+            # A single error always produces two non-zero syndromes.
+            return None, "detected"
+        position = (_LOG[s1] - _LOG[s0]) % 255
+        if position >= self.codeword_symbols:
+            return None, "detected"
+        corrected = list(codeword)
+        corrected[position] ^= s0
+        # Verify: residual syndromes must vanish.
+        if self.syndromes(corrected) != (0, 0):
+            return None, "detected"
+        return corrected[:self.data_symbols], "corrected"
+
+    # ------------------------------------------------------------------
+
+    def kill_chip(self, codeword: List[int], chip: int,
+                  garbage: int = 0xFF) -> List[int]:
+        """Simulate a whole-chip failure (symbol replaced by garbage)."""
+        if not 0 <= chip < self.codeword_symbols:
+            raise ValueError("chip index out of range")
+        out = list(codeword)
+        out[chip] ^= garbage or 0xA5
+        return out
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra capacity vs data (2 chips over ``data_symbols``)."""
+        return 2.0 / self.data_symbols

@@ -1,0 +1,150 @@
+"""Error protection for the CWF memory (paper Section 4.2.3).
+
+The baseline protects each 64-bit word with SECDED (a (72, 64) Hamming
+code with an overall parity bit): single-bit errors are corrected,
+double-bit errors detected. In the CWF design the fast DIMM returns the
+critical word before its ECC (which lives with the bulk part) can be
+checked, so the fast part carries **byte parity** (one parity bit per
+byte — the x9 chip's ninth bit). The word is forwarded to the waiting
+instruction only if parity passes; on a parity error the wake is
+deferred until the full line plus ECC arrives and correction runs.
+Multi-bit errors that alias under parity commit an erroneous result that
+the trailing SECDED check then flags (precise fail-stop), exactly the
+baseline's coverage.
+
+This module implements the real codes (used and property-tested at the
+bit level) plus a probabilistic :class:`FaultInjector` the simulator
+uses, since simulating data values for every access would be pointless.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+WORD_BITS = 64
+_PARITY_POSITIONS = [1, 2, 4, 8, 16, 32, 64]  # within the 1-based codeword
+_CODEWORD_BITS = 72  # 64 data + 7 Hamming + 1 overall parity
+
+
+def _data_positions() -> list:
+    """1-based codeword positions that hold data bits (non powers of 2)."""
+    positions = []
+    pos = 1
+    while len(positions) < WORD_BITS:
+        if pos & (pos - 1):  # not a power of two
+            positions.append(pos)
+        pos += 1
+    return positions
+
+
+_DATA_POSITIONS = _data_positions()
+
+
+class SECDED:
+    """(72, 64) Hamming SECDED code over one 64-bit word."""
+
+    @staticmethod
+    def encode(word: int) -> int:
+        """Return the 72-bit codeword for ``word`` (0 <= word < 2**64)."""
+        if not 0 <= word < (1 << WORD_BITS):
+            raise ValueError("word out of range")
+        code = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (word >> i) & 1:
+                code |= 1 << (pos - 1)
+        for p in _PARITY_POSITIONS:
+            parity = 0
+            for pos in range(1, _CODEWORD_BITS):
+                if pos & p and (code >> (pos - 1)) & 1:
+                    parity ^= 1
+            if parity:
+                code |= 1 << (p - 1)
+        overall = bin(code).count("1") & 1
+        if overall:
+            code |= 1 << (_CODEWORD_BITS - 1)
+        return code
+
+    @staticmethod
+    def decode(code: int) -> Tuple[Optional[int], str]:
+        """Decode a 72-bit codeword.
+
+        Returns ``(word, status)`` where status is one of ``"ok"``,
+        ``"corrected"``, or ``"detected"`` (uncorrectable double error,
+        word is None).
+        """
+        syndrome = 0
+        for p in _PARITY_POSITIONS:
+            parity = 0
+            for pos in range(1, _CODEWORD_BITS):
+                if pos & p and (code >> (pos - 1)) & 1:
+                    parity ^= 1
+            if parity:
+                syndrome |= p
+        overall = bin(code).count("1") & 1
+
+        status = "ok"
+        if syndrome and overall:
+            # Single-bit error at the syndrome position: correct it.
+            code ^= 1 << (syndrome - 1)
+            status = "corrected"
+        elif syndrome and not overall:
+            return None, "detected"
+        elif not syndrome and overall:
+            # The overall parity bit itself flipped.
+            code ^= 1 << (_CODEWORD_BITS - 1)
+            status = "corrected"
+
+        word = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (code >> (pos - 1)) & 1:
+                word |= 1 << i
+        return word, status
+
+
+def byte_parity(word: int) -> int:
+    """Even parity bit per byte of a 64-bit word (8 bits, LSB = byte 0)."""
+    if not 0 <= word < (1 << WORD_BITS):
+        raise ValueError("word out of range")
+    out = 0
+    for byte in range(8):
+        b = (word >> (8 * byte)) & 0xFF
+        if bin(b).count("1") & 1:
+            out |= 1 << byte
+    return out
+
+
+def parity_check(word: int, parity: int) -> bool:
+    """True if ``parity`` matches ``word`` (no detected error)."""
+    return byte_parity(word) == parity
+
+
+@dataclass
+class FaultInjectorStats:
+    checks: int = 0
+    parity_errors: int = 0
+
+
+class FaultInjector:
+    """Probabilistic fault model for the fast-part parity check.
+
+    The simulator does not carry data values, so parity failures are
+    injected at a configurable rate (0 by default — DRAM bit-error rates
+    are ~1e-17/bit; the knob exists to exercise the deferral path).
+    """
+
+    def __init__(self, parity_error_rate: float = 0.0, seed: int = 7) -> None:
+        if not 0.0 <= parity_error_rate <= 1.0:
+            raise ValueError("parity_error_rate must be in [0, 1]")
+        self.parity_error_rate = parity_error_rate
+        self._rng = random.Random(seed)
+        self.stats = FaultInjectorStats()
+
+    def fast_part_ok(self) -> bool:
+        """Sample one fast-part parity check; False = error detected."""
+        self.stats.checks += 1
+        if self.parity_error_rate and self._rng.random() < self.parity_error_rate:
+            self.stats.parity_errors += 1
+            return False
+        return True

@@ -1,0 +1,22 @@
+"""CPU-side substrate: cores, caches, MSHRs, prefetcher.
+
+The core model follows the USIMM front-end (the memory simulator the
+paper builds on): a trace-driven in-order-retire window with a 64-entry
+ROB and 4-wide fetch/retire. Memory reads block retirement at the ROB
+head until their *critical word* arrives; independent misses inside the
+window overlap, producing realistic memory-level parallelism.
+"""
+
+from repro.cpu.cache import Cache, CacheConfig, L1_CONFIG, L2_CONFIG
+from repro.cpu.mshr import MSHRFile, MSHREntry
+from repro.cpu.prefetch import StridePrefetcher, PrefetcherConfig
+from repro.cpu.core import Core, CoreConfig, TraceRecord
+from repro.cpu.uncore import Uncore, UncoreConfig
+
+__all__ = [
+    "Cache", "CacheConfig", "L1_CONFIG", "L2_CONFIG",
+    "MSHRFile", "MSHREntry",
+    "StridePrefetcher", "PrefetcherConfig",
+    "Core", "CoreConfig", "TraceRecord",
+    "Uncore", "UncoreConfig",
+]

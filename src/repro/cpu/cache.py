@@ -1,0 +1,133 @@
+"""Set-associative write-back caches (paper Table 1 hierarchy).
+
+Functional model with LRU replacement; latency is applied by the uncore.
+Lines carry two bits of metadata the CWF architecture needs: the dirty
+bit, and the *observed critical word* — the word whose demand miss
+fetched the line, which the adaptive placement scheme stores back to
+memory on dirty eviction (paper Sec 4.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dram.request import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = LINE_BYTES
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(f"{self.name}: size not divisible by way size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+L1_CONFIG = CacheConfig(name="L1D", size_bytes=32 * 1024, associativity=2,
+                        latency=1)
+L2_CONFIG = CacheConfig(name="L2", size_bytes=4 * 1024 * 1024,
+                        associativity=8, latency=10)
+
+
+@dataclass
+class CacheLine:
+    """Tag-store entry."""
+
+    line_address: int
+    dirty: bool = False
+    critical_word: int = 0
+
+
+@dataclass
+class EvictedLine:
+    """What :meth:`Cache.insert` pushed out, if anything."""
+
+    line_address: int
+    dirty: bool
+    critical_word: int
+
+
+class Cache:
+    """One set-associative LRU cache level.
+
+    Sets are dicts ordered by recency (Python dicts preserve insertion
+    order; re-inserting moves a key to MRU position).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[Dict[int, CacheLine]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _set_index(self, line_address: int) -> int:
+        return line_address % self.config.num_sets
+
+    def lookup(self, line_address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Probe; returns the line and updates LRU on hit."""
+        s = self._sets[self._set_index(line_address)]
+        line = s.get(line_address)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            del s[line_address]
+            s[line_address] = line
+        return line
+
+    def peek(self, line_address: int) -> Optional[CacheLine]:
+        """Probe without updating LRU or hit/miss counters."""
+        return self._sets[self._set_index(line_address)].get(line_address)
+
+    def insert(self, line_address: int, dirty: bool = False,
+               critical_word: int = 0) -> Optional[EvictedLine]:
+        """Fill a line; returns the victim if one was evicted."""
+        s = self._sets[self._set_index(line_address)]
+        existing = s.get(line_address)
+        if existing is not None:
+            del s[line_address]
+            existing.dirty = existing.dirty or dirty
+            s[line_address] = existing
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(s) >= self.config.associativity:
+            lru_addr = next(iter(s))
+            lru = s.pop(lru_addr)
+            self.evictions += 1
+            if lru.dirty:
+                self.dirty_evictions += 1
+            victim = EvictedLine(line_address=lru.line_address,
+                                 dirty=lru.dirty,
+                                 critical_word=lru.critical_word)
+        s[line_address] = CacheLine(line_address=line_address, dirty=dirty,
+                                    critical_word=critical_word)
+        return victim
+
+    def invalidate(self, line_address: int) -> Optional[CacheLine]:
+        """Remove a line (no writeback here; caller decides)."""
+        s = self._sets[self._set_index(line_address)]
+        return s.pop(line_address, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

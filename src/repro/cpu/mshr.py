@@ -1,0 +1,124 @@
+"""Miss-status holding registers with split-arrival (CWF) support.
+
+The paper's MSHR extension (Sec 4.2.2): on an LLC miss one entry is
+allocated and the memory system may return the line in two parts. The
+MSHR buffers the parts; the *primary* waiters (instructions blocked on
+the requested word) wake as soon as the memory system signals that word
+is available — possibly tens of cycles before the fill completes — while
+*fill* waiters (secondary misses that arrived while the line was
+pending) wake only when the whole line is present and the entry is
+freed, matching the paper's handling of early second accesses.
+
+Which part carries which word is the memory system's business; the MSHR
+only sequences waiters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+Waiter = Callable[[int], None]
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding line fill."""
+
+    line_address: int
+    critical_word: int                      # word the primary demand needs
+    core_id: int
+    is_prefetch: bool = True                # demoted to False by any demand
+    write_intent: bool = False              # fill will be dirtied (write alloc)
+    primary_waiters: List[Waiter] = field(default_factory=list)
+    fill_waiters: List[Waiter] = field(default_factory=list)
+    critical_time: Optional[int] = None
+    complete_time: Optional[int] = None
+
+    def wake_primaries(self, time: int) -> int:
+        """Wake all blocked primary waiters; returns how many."""
+        woken = len(self.primary_waiters)
+        for waiter in self.primary_waiters:
+            waiter(time)
+        self.primary_waiters.clear()
+        return woken
+
+
+class MSHRFile:
+    """Fixed-capacity MSHR file; callers observe allocation back-pressure."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def get(self, line_address: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_address)
+
+    def allocate(self, line_address: int, critical_word: int, core_id: int,
+                 is_prefetch: bool = False,
+                 write_intent: bool = False) -> Optional[MSHREntry]:
+        """Allocate an entry; None if the file is full (caller stalls)."""
+        if line_address in self._entries:
+            raise RuntimeError(f"duplicate MSHR for line {line_address:#x}")
+        if self.full:
+            self.stalls += 1
+            return None
+        entry = MSHREntry(line_address=line_address,
+                          critical_word=critical_word,
+                          core_id=core_id,
+                          is_prefetch=is_prefetch,
+                          write_intent=write_intent)
+        self._entries[line_address] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, entry: MSHREntry, waiter: Optional[Waiter],
+              is_prefetch: bool, write_intent: bool,
+              word: Optional[int] = None, now: int = 0) -> None:
+        """Attach a secondary miss to an existing entry.
+
+        A secondary miss whose word matches the entry's in-flight
+        critical word can use the critical data the moment it arrives
+        (it is buffered in the MSHR): it joins the primary waiters, or
+        wakes immediately if that part already landed. Any other word
+        must wait for the full line.
+        """
+        self.merges += 1
+        entry.is_prefetch = entry.is_prefetch and is_prefetch
+        entry.write_intent = entry.write_intent or write_intent
+        if waiter is None:
+            return
+        if word is not None and word == entry.critical_word:
+            if entry.critical_time is not None:
+                waiter(max(now, entry.critical_time))
+            else:
+                entry.primary_waiters.append(waiter)
+        else:
+            entry.fill_waiters.append(waiter)
+
+    def deallocate(self, line_address: int) -> None:
+        """Roll back a just-made allocation (memory rejected the read)."""
+        self._entries.pop(line_address)
+
+    def release(self, line_address: int, time: int) -> MSHREntry:
+        """Free a completed entry; wakes fill (secondary) waiters."""
+        entry = self._entries.pop(line_address)
+        if entry.complete_time is None:
+            raise RuntimeError(f"releasing incomplete MSHR {line_address:#x}")
+        entry.wake_primaries(time)  # safety: nothing may stay blocked
+        for waiter in entry.fill_waiters:
+            waiter(time)
+        entry.fill_waiters.clear()
+        return entry

@@ -1,0 +1,76 @@
+"""Per-core stride prefetcher (paper Section 5).
+
+Tracks a small table of recent access streams; when the same stride is
+seen ``confidence_threshold`` times in a row, it issues prefetches
+``degree`` lines ahead. Prefetch requests are tagged so the memory
+controller can deprioritise them behind demand requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dram.request import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    table_size: int = 16
+    confidence_threshold: int = 3
+    degree: int = 2
+    distance: int = 3   # lines ahead of the trained stream
+    enabled: bool = True
+
+
+@dataclass
+class _StreamEntry:
+    last_line: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Stream table keyed by region (line address / 64 lines)."""
+
+    REGION_LINES = 64
+
+    def __init__(self, config: PrefetcherConfig = PrefetcherConfig()) -> None:
+        self.config = config
+        self._table: Dict[int, _StreamEntry] = {}
+        self.issued = 0
+        self.trained = 0
+
+    def observe(self, line_address: int) -> List[int]:
+        """Feed one demand L2 access; returns line addresses to prefetch."""
+        if not self.config.enabled:
+            return []
+        region = line_address // self.REGION_LINES
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.config.table_size:
+                # Evict the stalest region (arbitrary FIFO-ish choice).
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = _StreamEntry(last_line=line_address)
+            return []
+        stride = line_address - entry.last_line
+        entry.last_line = line_address
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 8)
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+            return []
+        if entry.confidence < self.config.confidence_threshold:
+            return []
+        self.trained += 1
+        base = line_address + entry.stride * self.config.distance
+        out = []
+        for i in range(self.config.degree):
+            target = base + i * entry.stride
+            if target >= 0:
+                out.append(target)
+        self.issued += len(out)
+        return out

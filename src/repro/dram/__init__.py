@@ -1,0 +1,27 @@
+"""DRAM substrate: device models, banks/ranks/channels, controllers, power.
+
+The three device families modelled are the ones the paper evaluates
+(Section 2, Table 2):
+
+* **DDR3** — Micron MT41J256M8, DDR3-1600, x8, 2 Gb, 8 banks.
+* **LPDDR2** — Micron MT42L128M16D1 at 400 MHz, 8 banks, low power.
+* **RLDRAM3** — Micron MT44K32M18: 16 banks, tRC of 12 ns, SRAM-style
+  single READ/WRITE command with auto-precharge (close-page only).
+"""
+
+from repro.dram.timing import TimingParameters, DDR3_TIMING, LPDDR2_TIMING, RLDRAM3_TIMING
+from repro.dram.device import DeviceConfig, DRAMKind, DDR3_DEVICE, LPDDR2_DEVICE, RLDRAM3_DEVICE
+from repro.dram.request import MemoryRequest, RequestKind
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.controller import MemoryController, ControllerConfig
+from repro.dram.channel import Channel
+from repro.dram.power import PowerModel, ChipActivity, IddCurrents
+
+__all__ = [
+    "TimingParameters", "DDR3_TIMING", "LPDDR2_TIMING", "RLDRAM3_TIMING",
+    "DeviceConfig", "DRAMKind", "DDR3_DEVICE", "LPDDR2_DEVICE", "RLDRAM3_DEVICE",
+    "MemoryRequest", "RequestKind",
+    "AddressMapper", "MappingScheme",
+    "MemoryController", "ControllerConfig", "Channel",
+    "PowerModel", "ChipActivity", "IddCurrents",
+]

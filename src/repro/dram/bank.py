@@ -1,0 +1,157 @@
+"""Per-bank DRAM state machine.
+
+The bank tracks its open row and the earliest CPU-cycle times at which
+each command class may legally be issued to it (ACT / column read /
+column write / PRE), derived from the device timing set. The scheduler
+asks ``can_*`` questions and the bank updates its horizon when a command
+is actually issued.
+
+RLDRAM3 banks use ``access()`` instead of the ACT/READ/PRE sequence: a
+single command performs the whole array access and auto-precharges,
+occupying the bank for tRC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.timing import TimingSet
+
+FAR_FUTURE = 1 << 62
+
+
+class BankState(enum.Enum):
+    IDLE = "idle"          # precharged, no open row
+    ACTIVE = "active"      # a row is open
+
+
+@dataclass
+class Bank:
+    """One DRAM bank's timing state."""
+
+    timing: TimingSet
+    index: int = 0
+    state: BankState = BankState.IDLE
+    open_row: Optional[int] = None
+    # Earliest legal issue times (CPU cycles).
+    next_activate: int = 0
+    next_read: int = FAR_FUTURE
+    next_write: int = FAR_FUTURE
+    next_precharge: int = 0
+    # Statistics.
+    activate_count: int = 0
+    read_count: int = 0
+    write_count: int = 0
+    row_hit_count: int = 0
+    last_activate_time: int = field(default=-(1 << 62))
+    last_use: int = 0  # last command touching this bank (idle-close timer)
+
+    def is_row_hit(self, row: int) -> bool:
+        return self.state is BankState.ACTIVE and self.open_row == row
+
+    # --- DDR-style command application -------------------------------
+
+    def can_activate(self, now: int) -> bool:
+        return self.state is BankState.IDLE and now >= self.next_activate
+
+    def activate(self, now: int, row: int) -> None:
+        """Open ``row``; column commands legal after tRCD."""
+        if not self.can_activate(now):
+            raise RuntimeError(
+                f"bank {self.index}: illegal ACT at {now} "
+                f"(state={self.state}, next_activate={self.next_activate})")
+        t = self.timing
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.next_read = now + t.t_rcd
+        self.next_write = now + t.t_rcd
+        self.next_precharge = now + t.t_ras
+        self.next_activate = now + t.t_rc
+        self.activate_count += 1
+        self.last_activate_time = now
+        self.last_use = now
+
+    def can_read(self, now: int, row: int) -> bool:
+        return self.is_row_hit(row) and now >= self.next_read
+
+    def column_read(self, now: int) -> int:
+        """Issue a column read; returns the time data starts on the bus."""
+        t = self.timing
+        if self.state is not BankState.ACTIVE or now < self.next_read:
+            raise RuntimeError(f"bank {self.index}: illegal READ at {now}")
+        self.next_read = max(self.next_read, now + t.t_ccd)
+        self.next_write = max(self.next_write, now + t.t_ccd)
+        # Reading delays how soon the row may close (read-to-precharge).
+        self.next_precharge = max(self.next_precharge, now + t.t_ccd)
+        self.read_count += 1
+        self.last_use = now
+        return now + t.t_rl
+
+    def column_write(self, now: int) -> int:
+        """Issue a column write; returns the time data starts on the bus."""
+        t = self.timing
+        if self.state is not BankState.ACTIVE or now < self.next_write:
+            raise RuntimeError(f"bank {self.index}: illegal WRITE at {now}")
+        self.next_read = max(self.next_read, now + t.t_ccd)
+        self.next_write = max(self.next_write, now + t.t_ccd)
+        # Write recovery before precharge: model as WL + burst + tWTR.
+        recovery = t.t_wl + t.t_burst + t.t_wtr
+        self.next_precharge = max(self.next_precharge, now + recovery)
+        self.write_count += 1
+        self.last_use = now
+        return now + t.t_wl
+
+    def can_precharge(self, now: int) -> bool:
+        return self.state is BankState.ACTIVE and now >= self.next_precharge
+
+    def precharge(self, now: int) -> None:
+        if not self.can_precharge(now):
+            raise RuntimeError(f"bank {self.index}: illegal PRE at {now}")
+        t = self.timing
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.next_activate = max(self.next_activate, now + t.t_rp)
+        self.next_read = FAR_FUTURE
+        self.next_write = FAR_FUTURE
+
+    # --- RLDRAM-style unified access ----------------------------------
+
+    def can_access(self, now: int) -> bool:
+        """SRAM-style READ/WRITE legality: bank free (tRC elapsed)."""
+        return now >= self.next_activate
+
+    def access(self, now: int, is_write: bool) -> int:
+        """Unified close-page access with auto-precharge.
+
+        Occupies the bank for tRC; returns time data appears on the bus.
+        For RLDRAM (tRCD = 0, SRAM-style addressing) data appears after
+        tRL/tWL; a DDR-style part used close-page still pays its row
+        activation (tRCD) before the column access.
+        """
+        t = self.timing
+        if not self.can_access(now):
+            raise RuntimeError(f"bank {self.index}: illegal ACCESS at {now}")
+        self.next_activate = now + max(t.t_rc, t.t_rcd + t.t_rp)
+        self.activate_count += 1
+        self.last_activate_time = now
+        self.last_use = now
+        if is_write:
+            self.write_count += 1
+            return now + t.t_rcd + t.t_wl
+        self.read_count += 1
+        return now + t.t_rcd + t.t_rl
+
+    # --- Refresh -------------------------------------------------------
+
+    def refresh_block(self, now: int, until: int) -> None:
+        """Block the bank until ``until`` for a refresh cycle."""
+        if self.state is BankState.ACTIVE:
+            # Controller must have precharged first; be forgiving in the
+            # model and force-close the row.
+            self.state = BankState.IDLE
+            self.open_row = None
+            self.next_read = FAR_FUTURE
+            self.next_write = FAR_FUTURE
+        self.next_activate = max(self.next_activate, until)

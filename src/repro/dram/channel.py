@@ -1,0 +1,138 @@
+"""Channel model: shared data bus and address/command bus.
+
+A channel serialises data transfers from its ranks and accounts for bus
+turnaround penalties (write-to-read tWTR within a rank, tRTRS between
+ranks / between reads and writes back-to-back on the bus).
+
+The command bus is modelled as a slotted resource: ``cmd_slots_per_cycle``
+commands may issue per bus clock. The aggregated RLDRAM channel of the
+paper (Sec 4.2.4) shares one double-data-rate command bus across four
+skinny data sub-channels, i.e. 2 slots per bus cycle feeding 4 data buses
+— the data:command utilisation ratio of 4:1 the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dram.request import RequestKind
+from repro.dram.timing import TimingSet
+
+
+@dataclass
+class BusStats:
+    """Occupancy accounting for utilisation figures."""
+
+    data_busy_cycles: int = 0
+    cmd_busy_cycles: int = 0
+    reads_transferred: int = 0
+    writes_transferred: int = 0
+
+
+class DataBus:
+    """One data bus; serialises bursts and applies turnaround gaps."""
+
+    def __init__(self, timing: TimingSet) -> None:
+        self.timing = timing
+        self.free_at = 0
+        self.last_kind: Optional[RequestKind] = None
+        self.last_rank: Optional[int] = None
+        self.stats = BusStats()
+
+    def earliest_start(self, desired: int, kind: RequestKind, rank: int) -> int:
+        """Earliest time a burst of ``kind`` from ``rank`` may start."""
+        start = max(desired, self.free_at)
+        if self.last_kind is None:
+            return start
+        gap = 0
+        if self.last_rank is not None and rank != self.last_rank:
+            gap = max(gap, self.timing.t_rtrs)
+        if self.last_kind is not RequestKind.READ and kind is RequestKind.READ:
+            # Write-to-read turnaround on the shared bus.
+            gap = max(gap, self.timing.t_wtr)
+        elif self.last_kind is RequestKind.READ and kind is RequestKind.WRITE:
+            gap = max(gap, self.timing.t_rtrs)
+        return max(start, self.free_at + gap)
+
+    def reserve(self, start: int, kind: RequestKind, rank: int) -> int:
+        """Occupy the bus for one burst starting at ``start``; returns end."""
+        if start < self.free_at:
+            raise RuntimeError(
+                f"data bus conflict: start {start} < free_at {self.free_at}")
+        end = start + self.timing.t_burst
+        self.free_at = end
+        self.last_kind = kind
+        self.last_rank = rank
+        self.stats.data_busy_cycles += self.timing.t_burst
+        if kind is RequestKind.READ:
+            self.stats.reads_transferred += 1
+        else:
+            self.stats.writes_transferred += 1
+        return end
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the bus carried data."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.data_busy_cycles / elapsed)
+
+
+class CommandBus:
+    """Slotted address/command bus shared by one or more data buses."""
+
+    def __init__(self, timing: TimingSet, slots_per_cycle: int = 1) -> None:
+        if slots_per_cycle < 1:
+            raise ValueError("slots_per_cycle must be >= 1")
+        self.timing = timing
+        self.slots_per_cycle = slots_per_cycle
+        self._used: Dict[int, int] = {}
+        self.stats = BusStats()
+
+    def _bus_cycle(self, time: int) -> int:
+        return time // self.timing.bus_cycle
+
+    def earliest_slot(self, desired: int) -> int:
+        """Earliest time >= desired with a free command slot."""
+        cyc = self._bus_cycle(desired)
+        while self._used.get(cyc, 0) >= self.slots_per_cycle:
+            cyc += 1
+        return max(desired, cyc * self.timing.bus_cycle)
+
+    def reserve(self, time: int, n_commands: int = 1) -> None:
+        """Consume ``n_commands`` slots in the bus cycle containing ``time``."""
+        cyc = self._bus_cycle(time)
+        used = self._used.get(cyc, 0)
+        if used + n_commands > self.slots_per_cycle:
+            raise RuntimeError(f"command bus overflow at bus cycle {cyc}")
+        self._used[cyc] = used + n_commands
+        self.stats.cmd_busy_cycles += n_commands
+        # Prune old entries so the dict stays small.
+        if len(self._used) > 4096:
+            cutoff = cyc - 2048
+            for key in [k for k in self._used if k < cutoff]:
+                del self._used[key]
+
+
+class Channel:
+    """A command bus plus one or more data buses (sub-channels).
+
+    The conventional case is one data bus. The aggregated critical-word
+    channel instantiates four data buses behind a dual-pumped command bus.
+    """
+
+    def __init__(self, timing: TimingSet, num_data_buses: int = 1,
+                 cmd_slots_per_cycle: int = 1, index: int = 0) -> None:
+        self.timing = timing
+        self.index = index
+        self.data_buses = [DataBus(timing) for _ in range(num_data_buses)]
+        self.cmd_bus = CommandBus(timing, cmd_slots_per_cycle)
+
+    def data_bus(self, sub: int = 0) -> DataBus:
+        return self.data_buses[sub]
+
+    def utilization(self, elapsed: int) -> float:
+        """Mean data-bus utilisation across sub-channels."""
+        if not self.data_buses:
+            return 0.0
+        return sum(b.utilization(elapsed) for b in self.data_buses) / len(self.data_buses)

@@ -1,0 +1,497 @@
+"""Per-channel memory controller.
+
+Implements the paper's controller model (Section 5):
+
+* separate read and write queues (48 entries each) with high/low
+  watermark write draining (32/16),
+* FR-FCFS scheduling for open-page devices, close-page single-command
+  scheduling for RLDRAM3,
+* demand-over-prefetch priority with age-based promotion,
+* per-rank refresh every tREFI, and
+* an aggressive idle power-down policy for low-power ranks.
+
+The controller is event-driven: it ticks on bus-cycle boundaries only
+while work is pending, and otherwise sleeps until the next request or
+refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.channel import Channel
+from repro.dram.device import DeviceConfig, PagePolicy
+from repro.dram.request import MemoryRequest, RequestKind, WORDS_PER_LINE
+from repro.dram.rank import PowerState, Rank
+from repro.dram.scheduler import (
+    SchedulingPolicy,
+    priority_key,
+    promote_aged_prefetches,
+    select_oldest,
+    select_row_hit,
+)
+from repro.dram.timing import TimingSet
+from repro.util.events import EventQueue
+
+FAR_FUTURE = 1 << 62
+
+
+@dataclass
+class ControllerConfig:
+    """Knobs from paper Table 1 plus policy switches."""
+
+    read_queue_size: int = 48
+    write_queue_size: int = 48
+    high_watermark: int = 32
+    low_watermark: int = 16
+    scheduling: SchedulingPolicy = SchedulingPolicy.FR_FCFS
+    prefetch_age_threshold: int = 2000   # CPU cycles before promotion
+    powerdown_idle_threshold: int = 640  # CPU cycles (200 ns at 3.2 GHz)
+    aggressive_powerdown: bool = False   # LPDRAM channels sleep eagerly
+    refresh_enabled: bool = True
+
+
+@dataclass
+class ControllerStats:
+    """Aggregated latency and throughput accounting."""
+
+    reads_done: int = 0
+    writes_done: int = 0
+    sum_queue_latency: int = 0
+    sum_core_latency: int = 0
+    sum_total_latency: int = 0
+    sum_critical_latency: int = 0
+    read_queue_occupancy_samples: int = 0
+    sum_read_queue_occupancy: int = 0
+    refreshes: int = 0
+    prefetches_done: int = 0
+
+    @property
+    def avg_queue_latency(self) -> float:
+        return self.sum_queue_latency / self.reads_done if self.reads_done else 0.0
+
+    @property
+    def avg_core_latency(self) -> float:
+        return self.sum_core_latency / self.reads_done if self.reads_done else 0.0
+
+    @property
+    def avg_total_latency(self) -> float:
+        return self.sum_total_latency / self.reads_done if self.reads_done else 0.0
+
+
+class MemoryController:
+    """One controller driving one channel of homogeneous DIMMs.
+
+    ``rank_to_bus`` maps each rank to the data (sub-)bus it answers on;
+    the default maps every rank to bus 0 (a conventional channel). The
+    aggregated critical-word channel maps rank *i* to bus *i*.
+    """
+
+    def __init__(self, device: DeviceConfig, timing: TimingSet,
+                 channel: Channel, num_ranks: int,
+                 events: EventQueue,
+                 config: Optional[ControllerConfig] = None,
+                 rank_to_bus: Optional[Dict[int, int]] = None,
+                 name: str = "mc") -> None:
+        self.device = device
+        self.timing = timing
+        self.channel = channel
+        self.events = events
+        self.config = config or ControllerConfig()
+        self.name = name
+        self.ranks: List[Rank] = [Rank(device, timing, i) for i in range(num_ranks)]
+        self.rank_to_bus = rank_to_bus or {i: 0 for i in range(num_ranks)}
+        self.read_queue: List[MemoryRequest] = []
+        self.write_queue: List[MemoryRequest] = []
+        self.stats = ControllerStats()
+        self._draining_writes = False
+        self._tick_event = None
+        self._next_refresh = [
+            (i + 1) * max(1, timing.t_refi // max(1, num_ranks))
+            for i in range(num_ranks)
+        ]
+        self._refresh_pending = [False] * num_ranks
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Accept a request; returns False if the target queue is full."""
+        queue = self.read_queue if request.is_read else self.write_queue
+        limit = (self.config.read_queue_size if request.is_read
+                 else self.config.write_queue_size)
+        if len(queue) >= limit:
+            return False
+        request.arrival_time = self.events.now
+        queue.append(request)
+        rank = self.ranks[request.decoded.rank]
+        if rank.power_state in (PowerState.POWER_DOWN, PowerState.SELF_REFRESH):
+            rank.wake(self.events.now)
+        self._schedule_tick(self.events.now)
+        return True
+
+    @property
+    def read_queue_free(self) -> int:
+        return self.config.read_queue_size - len(self.read_queue)
+
+    @property
+    def write_queue_free(self) -> int:
+        return self.config.write_queue_size - len(self.write_queue)
+
+    def busy(self) -> bool:
+        return bool(self.read_queue or self.write_queue)
+
+    def finalize(self) -> None:
+        """Fold power-state residency tallies up to the current time."""
+        for rank in self.ranks:
+            rank.finalize_tally(self.events.now)
+
+    # ------------------------------------------------------------------
+    # Tick machinery
+    # ------------------------------------------------------------------
+
+    def _schedule_tick(self, when: int) -> None:
+        when = max(when, self.events.now)
+        # Align to the next bus-cycle boundary.
+        bus = self.timing.bus_cycle
+        when = ((when + bus - 1) // bus) * bus
+        if self._tick_event is not None and not self._tick_event.cancelled:
+            if self._tick_event.time <= when:
+                return
+            self._tick_event.cancel()
+        self._tick_event = self.events.schedule(when, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        now = self.events.now
+        self._service_refresh(now)
+        promote_aged_prefetches(self.read_queue, now,
+                                self.config.prefetch_age_threshold)
+        self._update_drain_mode()
+
+        self.stats.read_queue_occupancy_samples += 1
+        self.stats.sum_read_queue_occupancy += len(self.read_queue)
+
+        issued_any = False
+        for _ in range(self.channel.cmd_bus.slots_per_cycle):
+            if self._issue_one(now):
+                issued_any = True
+            else:
+                break
+
+        self._try_powerdown(now)
+
+        if self.busy():
+            next_time = (now + self.timing.bus_cycle if issued_any
+                         else self._next_wake_time(now))
+            self._schedule_tick(max(next_time, now + 1))
+        else:
+            # Idle: wake for the next refresh, and — when the sleep
+            # policy is on — once the idle threshold elapses so ranks
+            # can actually enter power-down.
+            target = FAR_FUTURE
+            if self.config.refresh_enabled:
+                target = min(self._next_refresh)
+            if self.config.aggressive_powerdown and any(
+                    r.power_state is PowerState.STANDBY for r in self.ranks):
+                target = min(target,
+                             now + self.config.powerdown_idle_threshold)
+            if target < FAR_FUTURE:
+                # Never reschedule at the current instant: an overdue
+                # refresh blocked on bank timing must wait for time to
+                # advance.
+                self._schedule_tick(max(target, now + self.timing.bus_cycle))
+
+    def _next_wake_time(self, now: int) -> int:
+        """Conservative earliest time any queued command could issue."""
+        best = FAR_FUTURE
+        for req in self.read_queue + self.write_queue:
+            t = self._earliest_progress_time(now, req)
+            if t < best:
+                best = t
+        if best <= now:
+            best = now + self.timing.bus_cycle
+        return min(best, now + self.timing.t_rc)
+
+    # ------------------------------------------------------------------
+    # Issue logic
+    # ------------------------------------------------------------------
+
+    def _active_queue(self) -> List[MemoryRequest]:
+        if self._draining_writes:
+            return self.write_queue
+        if self.read_queue:
+            return self.read_queue
+        return self.write_queue
+
+    def _update_drain_mode(self) -> None:
+        cfg = self.config
+        if self._draining_writes:
+            if len(self.write_queue) <= cfg.low_watermark:
+                self._draining_writes = False
+        elif len(self.write_queue) >= cfg.high_watermark:
+            self._draining_writes = True
+
+    def _issue_one(self, now: int) -> bool:
+        queue = self._active_queue()
+        if not queue:
+            return False
+        if self.device.page_policy is PagePolicy.CLOSE:
+            if self._issue_close_page(now, queue):
+                return True
+        elif self._issue_open_page(now, queue):
+            return True
+        # Drain gaps: while a write drain waits on bank timing, let a
+        # ready read slip in rather than stalling the channel (and vice
+        # versa when serving reads leaves the cycle idle).
+        other = self.write_queue if queue is self.read_queue else self.read_queue
+        if not other:
+            return False
+        if self.device.page_policy is PagePolicy.CLOSE:
+            return self._issue_close_page(now, other)
+        return self._issue_open_page(now, other)
+
+    # --- open-page (DDR3 / LPDDR2) -------------------------------------
+
+    def _issue_open_page(self, now: int, queue: List[MemoryRequest]) -> bool:
+        # Demand requests strictly outrank prefetches (paper Sec 5):
+        # prefetches only consume bandwidth no demand can use this cycle.
+        demands = [r for r in queue
+                   if not r.is_prefetch or r.promoted]
+        prefetches = [r for r in queue
+                      if r.is_prefetch and not r.promoted]
+        for cls in (demands, prefetches):
+            if not cls:
+                continue
+            if self.config.scheduling is SchedulingPolicy.FR_FCFS:
+                hit = select_row_hit(cls, lambda r: self._cas_ready(now, r))
+                if hit is not None:
+                    self._issue_cas(now, hit, queue)
+                    return True
+            else:
+                # Strict FCFS considers only the oldest request for CAS.
+                oldest = select_oldest(cls)
+                if oldest is not None and self._cas_ready(now, oldest):
+                    self._issue_cas(now, oldest, queue)
+                    return True
+                if oldest is not None and self._progress_act_pre(now, oldest):
+                    return True
+                continue
+            # Progress PRE/ACT oldest-first *per bank*: younger requests
+            # to ready banks must not stall behind one blocked oldest
+            # (bank-level parallelism), but within a bank strict age
+            # order prevents precharge ping-pong.
+            claimed = set()
+            for req in sorted(cls, key=priority_key):
+                key = (req.decoded.rank, req.decoded.bank)
+                if key in claimed:
+                    continue
+                claimed.add(key)
+                if self._progress_act_pre(now, req):
+                    return True
+        return False
+
+    def _cas_ready(self, now: int, req: MemoryRequest) -> bool:
+        d = req.decoded
+        rank = self.ranks[d.rank]
+        if now < rank.wake_time:
+            return False
+        bank = rank.banks[d.bank]
+        if not bank.is_row_hit(d.row):
+            return False
+        next_col = bank.next_read if req.is_read else bank.next_write
+        if now < next_col:
+            return False
+        # The data bus must be free exactly when this burst would start.
+        t_data = now + (self.timing.t_rl if req.is_read else self.timing.t_wl)
+        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        if bus.earliest_start(t_data, req.kind, d.rank) != t_data:
+            return False
+        return self.channel.cmd_bus.earliest_slot(now) == now
+
+    def _issue_cas(self, now: int, req: MemoryRequest,
+                   queue: List[MemoryRequest]) -> None:
+        d = req.decoded
+        rank = self.ranks[d.rank]
+        bank = rank.banks[d.bank]
+        rank.touch(now)
+        self.channel.cmd_bus.reserve(now)
+        if req.first_command_time is None:
+            # CAS with no prior PRE/ACT for this request: a row-buffer hit.
+            bank.row_hit_count += 1
+        if req.is_read:
+            data_start = bank.column_read(now)
+        else:
+            data_start = bank.column_write(now)
+        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        end = bus.reserve(data_start, req.kind, d.rank)
+        if req.first_command_time is None:
+            req.first_command_time = now
+        self._complete(req, data_start, end)
+        queue.remove(req)
+
+    def _progress_act_pre(self, now: int, req: MemoryRequest) -> bool:
+        """Issue the PRE or ACT the oldest request needs, if legal."""
+        d = req.decoded
+        rank = self.ranks[d.rank]
+        if now < rank.wake_time:
+            return False
+        bank = rank.banks[d.bank]
+        if bank.state is BankState.ACTIVE and bank.open_row != d.row:
+            if bank.can_precharge(now) and \
+                    self.channel.cmd_bus.earliest_slot(now) == now:
+                self.channel.cmd_bus.reserve(now)
+                bank.precharge(now)
+                rank.touch(now)
+                if req.first_command_time is None:
+                    req.first_command_time = now
+                return True
+            return False
+        if bank.state is BankState.IDLE:
+            if (bank.can_activate(now) and rank.can_activate(now)
+                    and self.channel.cmd_bus.earliest_slot(now) == now):
+                self.channel.cmd_bus.reserve(now)
+                bank.activate(now, d.row)
+                rank.note_activate(now)
+                if req.first_command_time is None:
+                    req.first_command_time = now
+                return True
+        return False
+
+    # --- close-page (RLDRAM3) ------------------------------------------
+
+    def _issue_close_page(self, now: int, queue: List[MemoryRequest]) -> bool:
+        """Single-command SRAM-style access with auto-precharge."""
+        best = None
+        best_key = None
+        for req in queue:
+            if not self._access_ready(now, req):
+                continue
+            key = priority_key(req)
+            if best_key is None or key < best_key:
+                best, best_key = req, key
+        if best is None:
+            return False
+        d = best.decoded
+        rank = self.ranks[d.rank]
+        bank = rank.banks[d.bank]
+        rank.touch(now)
+        self.channel.cmd_bus.reserve(now)
+        data_start = bank.access(now, is_write=not best.is_read)
+        rank.note_activate(now)
+        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        end = bus.reserve(data_start, best.kind, d.rank)
+        if best.first_command_time is None:
+            best.first_command_time = now
+        self._complete(best, data_start, end)
+        queue.remove(best)
+        return True
+
+    def _access_ready(self, now: int, req: MemoryRequest) -> bool:
+        d = req.decoded
+        rank = self.ranks[d.rank]
+        if now < rank.wake_time or now < rank.next_act_allowed:
+            return False
+        bank = rank.banks[d.bank]
+        if not bank.can_access(now):
+            return False
+        t_data = now + (self.timing.t_rl if req.is_read else self.timing.t_wl)
+        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        if bus.earliest_start(t_data, req.kind, d.rank) != t_data:
+            return False
+        return self.channel.cmd_bus.earliest_slot(now) == now
+
+    # --- completion ------------------------------------------------------
+
+    def _complete(self, req: MemoryRequest, data_start: int, end: int) -> None:
+        req.data_start_time = data_start
+        req.completion_time = end
+        # Conventional critical-word-first on the bus: the requested word
+        # is transferred in the first beat of the (reordered) burst.
+        beat = max(1, self.timing.t_burst // WORDS_PER_LINE)
+        req.critical_word_time = data_start + beat
+        if req.is_read:
+            self.stats.reads_done += 1
+            if req.is_prefetch:
+                self.stats.prefetches_done += 1
+            self.stats.sum_queue_latency += req.queue_latency
+            self.stats.sum_core_latency += req.core_latency
+            self.stats.sum_total_latency += req.total_latency
+            self.stats.sum_critical_latency += req.critical_word_time - req.arrival_time
+            if req.on_critical_word is not None:
+                self.events.schedule(req.critical_word_time,
+                                     lambda r=req: r.on_critical_word(r.critical_word_time))
+        else:
+            self.stats.writes_done += 1
+        if req.on_complete is not None:
+            self.events.schedule(end, lambda r=req: r.on_complete(r.completion_time))
+
+    # ------------------------------------------------------------------
+    # Refresh and power-down
+    # ------------------------------------------------------------------
+
+    def _service_refresh(self, now: int) -> None:
+        if not self.config.refresh_enabled:
+            return
+        for i, rank in enumerate(self.ranks):
+            if now < self._next_refresh[i]:
+                continue
+            self._refresh_pending[i] = True
+            # Close any open banks as they become precharge-legal.
+            all_idle = True
+            for bank in rank.banks:
+                if bank.state is BankState.ACTIVE:
+                    if bank.can_precharge(now):
+                        bank.precharge(now)
+                    else:
+                        all_idle = False
+            if not all_idle:
+                continue
+            if now < rank.wake_time:
+                continue
+            until = now + self.timing.t_rfc
+            for bank in rank.banks:
+                bank.refresh_block(now, until)
+            rank.touch(now)
+            self._next_refresh[i] = max(self._next_refresh[i] + self.timing.t_refi,
+                                        now + self.timing.t_refi // 2)
+            self._refresh_pending[i] = False
+            self.stats.refreshes += 1
+
+    def _try_powerdown(self, now: int) -> None:
+        if not self.config.aggressive_powerdown:
+            return
+        # Only sleep ranks with no queued work targeting them.
+        busy_ranks = {r.decoded.rank for r in self.read_queue}
+        busy_ranks.update(r.decoded.rank for r in self.write_queue)
+        threshold = self.config.powerdown_idle_threshold
+        for i, rank in enumerate(self.ranks):
+            if i in busy_ranks:
+                continue
+            # Close rows that have idled past the threshold so the rank
+            # can reach precharge power-down (open-page otherwise pins
+            # banks active forever).
+            for bank in rank.banks:
+                if (bank.state is BankState.ACTIVE
+                        and now - bank.last_use >= threshold
+                        and bank.can_precharge(now)):
+                    bank.precharge(now)
+            rank.try_power_down(now, threshold)
+
+    def _earliest_progress_time(self, now: int, req: MemoryRequest) -> int:
+        """Lower bound on when ``req``'s next command could become legal."""
+        d = req.decoded
+        rank = self.ranks[d.rank]
+        bank = rank.banks[d.bank]
+        if self.device.page_policy is PagePolicy.CLOSE:
+            return max(bank.next_activate, rank.wake_time,
+                       rank.next_act_allowed)
+        if bank.is_row_hit(d.row):
+            col = bank.next_read if req.is_read else bank.next_write
+            return max(col, rank.wake_time)
+        if bank.state is BankState.ACTIVE:
+            return max(bank.next_precharge, rank.wake_time)
+        return max(bank.next_activate, rank.earliest_activate(now))

@@ -1,0 +1,138 @@
+"""DRAM device (chip) geometry and page policy.
+
+A :class:`DeviceConfig` describes one chip family well enough for the
+address mapper (rows/columns/banks), the bank state machines (page
+policy, timing), and the power model (device width, capacity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.timing import (
+    DDR3_TIMING,
+    LPDDR2_TIMING,
+    RLDRAM3_TIMING,
+    TimingParameters,
+)
+
+
+class DRAMKind(enum.Enum):
+    """The three device families the paper builds memories from."""
+
+    DDR3 = "ddr3"
+    LPDDR2 = "lpddr2"
+    RLDRAM3 = "rldram3"
+
+
+class PagePolicy(enum.Enum):
+    """Row-buffer management policy.
+
+    DDR3/LPDDR2 use open-page in the paper (best-performing baseline);
+    RLDRAM3 auto-precharges after every access so it is close-page by
+    construction.
+    """
+
+    OPEN = "open"
+    CLOSE = "close"
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """One DRAM chip family.
+
+    ``row_size_bytes`` is the row-buffer (page) size per chip; a rank's
+    effective page is ``row_size_bytes * devices_per_rank``.
+    """
+
+    kind: DRAMKind
+    part_number: str
+    timing: TimingParameters
+    capacity_mbit: int
+    data_width_bits: int
+    num_banks: int
+    num_rows: int
+    num_cols: int
+    page_policy: PagePolicy
+    supports_power_down: bool = True
+    # RLDRAM provides the entire address with a single READ/WRITE command
+    # (SRAM-style); DDR-style devices split it into RAS + CAS.
+    single_command_addressing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0 or self.num_rows <= 0 or self.num_cols <= 0:
+            raise ValueError(f"{self.part_number}: geometry must be positive")
+        derived_mbit = (self.num_banks * self.num_rows * self.num_cols
+                        * self.data_width_bits) / (1024 * 1024)
+        if abs(derived_mbit - self.capacity_mbit) / self.capacity_mbit > 0.01:
+            raise ValueError(
+                f"{self.part_number}: geometry implies {derived_mbit:.0f} Mbit, "
+                f"declared {self.capacity_mbit} Mbit")
+
+    @property
+    def row_size_bytes(self) -> int:
+        """Bytes fetched into this chip's row buffer by one ACT."""
+        return self.num_cols * self.data_width_bits // 8
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_mbit * 1024 * 1024 // 8
+
+
+# --- Part presets (paper Table 1 / Section 5) ------------------------------
+
+# Micron MT41J256M8: 2 Gb DDR3, x8, 8 banks, 32K rows x 1K cols.
+DDR3_DEVICE = DeviceConfig(
+    kind=DRAMKind.DDR3,
+    part_number="MT41J256M8",
+    timing=DDR3_TIMING,
+    capacity_mbit=2048,
+    data_width_bits=8,
+    num_banks=8,
+    num_rows=32768,
+    num_cols=1024,
+    page_policy=PagePolicy.OPEN,
+)
+
+# Micron MT42L128M16D1 at 400 MHz: 2 Gb LPDDR2. The paper uses it in an
+# x8-per-line role on the low-power DIMM; core geometry matches DDR3
+# densities ("core densities and bank counts remain the same", Sec 2.2).
+LPDDR2_DEVICE = DeviceConfig(
+    kind=DRAMKind.LPDDR2,
+    part_number="MT42L128M16D1",
+    timing=LPDDR2_TIMING,
+    capacity_mbit=2048,
+    data_width_bits=8,
+    num_banks=8,
+    num_rows=32768,
+    num_cols=1024,
+    page_policy=PagePolicy.OPEN,
+)
+
+# Micron MT44K32M18: 576 Mb RLDRAM3, 16 banks, tiny fast arrays. The
+# paper assumes a future x9 part for the critical-word DIMM (Sec 4.1).
+RLDRAM3_DEVICE = DeviceConfig(
+    kind=DRAMKind.RLDRAM3,
+    part_number="MT44K32M18",
+    timing=RLDRAM3_TIMING,
+    capacity_mbit=576,
+    data_width_bits=9,
+    num_banks=16,
+    num_rows=8192,
+    num_cols=512,
+    page_policy=PagePolicy.CLOSE,
+    supports_power_down=False,
+    single_command_addressing=True,
+)
+
+DEVICE_PRESETS = {
+    DRAMKind.DDR3: DDR3_DEVICE,
+    DRAMKind.LPDDR2: LPDDR2_DEVICE,
+    DRAMKind.RLDRAM3: RLDRAM3_DEVICE,
+}
+
+
+def device_for(kind: DRAMKind) -> DeviceConfig:
+    """Return the preset chip for a DRAM family."""
+    return DEVICE_PRESETS[kind]

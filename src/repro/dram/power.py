@@ -1,0 +1,281 @@
+"""Micron power-calculator-style DRAM chip power model.
+
+The paper (Section 5, "Power Modeling") feeds simulator activity factors
+into the Micron DRAM power calculators. This module implements the same
+methodology:
+
+* **Background** power from IDD currents weighted by the rank's power
+  state residency (active standby / precharge standby / power-down /
+  self-refresh).
+* **Activate/precharge** energy per ACT command,
+  ``E_act = VDD * (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC - tRAS))``.
+* **Read/write burst** power proportional to data-bus utilisation,
+  ``(IDD4R - IDD3N) * VDD`` while reading.
+* **Refresh** power ``(IDD5 - IDD2N) * VDD * tRFC / tREFI``.
+* **I/O and termination** — output-driver power while driving reads,
+  ODT power while receiving writes, plus static adders for the DLL and
+  ODT that the paper adds to make LPDDR2 server-grade (Sec 4.1).
+
+Current values follow the Micron datasheets for the three parts; the
+LPDDR2 model implements the paper's conservative adjustment: when
+``server_adapted`` the idle-state currents are raised to DDR3 levels to
+pay for the added DLL, and static ODT power is charged. The Malladi-style
+unterminated variant (Sec 7.2) switches both adders off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.dram.device import DRAMKind
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class IddCurrents:
+    """Datasheet currents (mA) and supply voltage (V) for one chip."""
+
+    vdd: float
+    idd0: float      # one-bank ACT-PRE cycling
+    idd2p: float     # precharge power-down
+    idd2n: float     # precharge standby
+    idd3p: float     # active power-down
+    idd3n: float     # active standby
+    idd4r: float     # burst read
+    idd4w: float     # burst write
+    idd5: float      # burst refresh
+    idd6: float      # self refresh
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.idd4r < self.idd3n or self.idd4w < self.idd3n:
+            raise ValueError("burst currents must exceed active standby")
+
+
+@dataclass(frozen=True)
+class IOPower:
+    """I/O & termination power (mW per chip at 100 % bus utilisation)."""
+
+    read_drive_mw: float        # output drivers while driving read data
+    write_termination_mw: float  # ODT sink while receiving write data
+    static_odt_mw: float = 0.0  # standing termination power
+    static_dll_mw: float = 0.0  # DLL idle power
+
+
+# --- Datasheet presets ------------------------------------------------------
+
+DDR3_CURRENTS = IddCurrents(
+    vdd=1.5,
+    idd0=90.0, idd2p=12.0, idd2n=42.0, idd3p=35.0, idd3n=52.0,
+    idd4r=160.0, idd4w=165.0, idd5=200.0, idd6=12.0,
+)
+
+# Native LPDDR2 currents (1.2 V core, low-swing unterminated I/O,
+# much lower standby and array energy than DDR3).
+LPDDR2_NATIVE_CURRENTS = IddCurrents(
+    vdd=1.2,
+    idd0=35.0, idd2p=1.8, idd2n=18.0, idd3p=5.0, idd3n=22.0,
+    idd4r=95.0, idd4w=100.0, idd5=110.0, idd6=1.5,
+)
+
+# RLDRAM3: small fast arrays, no power-down modes, heavy background
+# consumption (Fig 2's high flat floor — ~4x the DDR3 idle power).
+RLDRAM3_CURRENTS = IddCurrents(
+    vdd=1.35,
+    idd0=375.0, idd2p=125.0, idd2n=125.0, idd3p=125.0, idd3n=140.0,
+    idd4r=400.0, idd4w=400.0, idd5=320.0, idd6=125.0,
+)
+
+DDR3_IO = IOPower(read_drive_mw=78.0, write_termination_mw=92.0,
+                  static_odt_mw=10.0, static_dll_mw=12.0)
+LPDDR2_NATIVE_IO = IOPower(read_drive_mw=30.0, write_termination_mw=24.0)
+RLDRAM3_IO = IOPower(read_drive_mw=95.0, write_termination_mw=105.0,
+                     static_odt_mw=6.0, static_dll_mw=6.0)
+
+
+_DLL_IDLE_MA = 6.0  # standby adder for the always-on DLL
+
+
+def lpddr2_server_currents() -> IddCurrents:
+    """LPDDR2 with the paper's server adaptation.
+
+    The DLL consumes power whenever the chip is idle, so idle-state
+    (power-down) currents rise to the DDR3 values (the paper: "we assume
+    that an LPDDR2 chip consumes the same amount of current that a DDR3
+    chip does in idle state") and standby currents gain a DLL adder.
+    Dynamic currents stay native; ``idd0`` rises with ``idd3n`` so the
+    per-ACT energy is unchanged by the adaptation.
+    """
+    n = LPDDR2_NATIVE_CURRENTS
+    return replace(n,
+                   idd2p=DDR3_CURRENTS.idd2p,
+                   idd3p=DDR3_CURRENTS.idd3p,
+                   idd2n=n.idd2n + _DLL_IDLE_MA,
+                   idd3n=n.idd3n + _DLL_IDLE_MA,
+                   idd0=n.idd0 + _DLL_IDLE_MA,
+                   idd6=n.idd6 + _DLL_IDLE_MA * 0.5)
+
+
+LPDDR2_SERVER_IO = IOPower(read_drive_mw=34.0, write_termination_mw=40.0,
+                           static_odt_mw=8.0, static_dll_mw=8.0)
+
+
+@dataclass
+class ChipActivity:
+    """Per-chip activity factors collected from the simulator."""
+
+    elapsed_ns: float
+    activates: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_bus_ns: float = 0.0       # time this chip drove read data
+    write_bus_ns: float = 0.0      # time this chip received write data
+    active_standby_ns: float = 0.0
+    precharge_standby_ns: float = 0.0
+    power_down_ns: float = 0.0
+    self_refresh_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.elapsed_ns <= 0:
+            raise ValueError("elapsed_ns must be positive")
+
+    @property
+    def bus_utilization(self) -> float:
+        return min(1.0, (self.read_bus_ns + self.write_bus_ns) / self.elapsed_ns)
+
+
+@dataclass
+class ChipPowerBreakdown:
+    """Average power (mW) of one chip over the measured interval."""
+
+    background_mw: float = 0.0
+    activate_mw: float = 0.0
+    read_mw: float = 0.0
+    write_mw: float = 0.0
+    refresh_mw: float = 0.0
+    io_term_mw: float = 0.0
+    static_mw: float = 0.0
+
+    @property
+    def total_mw(self) -> float:
+        return (self.background_mw + self.activate_mw + self.read_mw
+                + self.write_mw + self.refresh_mw + self.io_term_mw
+                + self.static_mw)
+
+    def energy_nj(self, elapsed_ns: float) -> float:
+        """Energy over the interval in nanojoules (mW * ns = pJ / 1000)."""
+        return self.total_mw * elapsed_ns / 1000.0
+
+
+class PowerModel:
+    """Computes chip power from activity factors for one device family."""
+
+    def __init__(self, kind: DRAMKind, timing: TimingParameters,
+                 currents: IddCurrents, io: IOPower,
+                 refresh_enabled: bool = True) -> None:
+        self.kind = kind
+        self.timing = timing
+        self.currents = currents
+        self.io = io
+        self.refresh_enabled = refresh_enabled
+
+    # -- per-event energies ------------------------------------------------
+
+    @property
+    def activate_energy_nj(self) -> float:
+        """Energy of one ACT-PRE pair beyond background, in nJ."""
+        c = self.currents
+        t = self.timing
+        t_ras = t.t_ras if t.t_ras > 0 else t.t_rc
+        # mA * V * ns = pJ; /1000 -> nJ.
+        pj = c.vdd * (c.idd0 * t.t_rc - c.idd3n * t_ras
+                      - c.idd2n * (t.t_rc - t_ras))
+        return max(0.0, pj / 1000.0)
+
+    def compute(self, activity: ChipActivity) -> ChipPowerBreakdown:
+        """Average chip power over ``activity.elapsed_ns``."""
+        c = self.currents
+        elapsed = activity.elapsed_ns
+        out = ChipPowerBreakdown()
+
+        # Background: residency-weighted IDD. Un-tallied time counts as
+        # precharge standby.
+        tallied = (activity.active_standby_ns + activity.precharge_standby_ns
+                   + activity.power_down_ns + activity.self_refresh_ns)
+        slack = max(0.0, elapsed - tallied)
+        bg_pj = c.vdd * (
+            c.idd3n * activity.active_standby_ns
+            + c.idd2n * (activity.precharge_standby_ns + slack)
+            + c.idd2p * activity.power_down_ns
+            + c.idd6 * activity.self_refresh_ns)
+        out.background_mw = bg_pj / elapsed
+
+        out.activate_mw = activity.activates * self.activate_energy_nj * 1000.0 / elapsed
+
+        read_util = min(1.0, activity.read_bus_ns / elapsed)
+        write_util = min(1.0, activity.write_bus_ns / elapsed)
+        out.read_mw = (c.idd4r - c.idd3n) * c.vdd * read_util
+        out.write_mw = (c.idd4w - c.idd3n) * c.vdd * write_util
+
+        if self.refresh_enabled:
+            out.refresh_mw = ((c.idd5 - c.idd2n) * c.vdd
+                              * self.timing.t_rfc / self.timing.t_refi)
+
+        out.io_term_mw = (self.io.read_drive_mw * read_util
+                          + self.io.write_termination_mw * write_util)
+        out.static_mw = self.io.static_odt_mw + self.io.static_dll_mw
+        return out
+
+    def power_at_utilization(self, bus_util: float, row_hit_rate: float = 0.5,
+                             read_fraction: float = 0.66,
+                             power_down_fraction: float = 0.0) -> ChipPowerBreakdown:
+        """Analytic chip power at a given bus utilisation (paper Fig 2).
+
+        Derives activity factors from the utilisation: each burst occupies
+        ``t_burst`` ns and a miss fraction of accesses costs one ACT.
+        """
+        if not 0.0 <= bus_util <= 1.0:
+            raise ValueError("bus_util must be in [0, 1]")
+        elapsed = 1_000_000.0  # 1 ms window
+        t = self.timing
+        bursts = bus_util * elapsed / t.t_burst
+        reads = bursts * read_fraction
+        writes = bursts - reads
+        acts = bursts * (1.0 - row_hit_rate)
+        idle = max(0.0, elapsed * (1.0 - bus_util))
+        pd = idle * power_down_fraction
+        activity = ChipActivity(
+            elapsed_ns=elapsed,
+            activates=int(acts),
+            reads=int(reads),
+            writes=int(writes),
+            read_bus_ns=reads * t.t_burst,
+            write_bus_ns=writes * t.t_burst,
+            active_standby_ns=(elapsed - idle) if bus_util > 0 else 0.0,
+            precharge_standby_ns=idle - pd,
+            power_down_ns=pd,
+        )
+        return self.compute(activity)
+
+
+def default_power_model(kind: DRAMKind, server_adapted: bool = True,
+                        refresh_enabled: bool = True) -> PowerModel:
+    """The paper's power model for each chip family.
+
+    ``server_adapted`` applies the DLL/ODT adders to LPDDR2 (Sec 4.1);
+    pass False for the Malladi-style unterminated design (Sec 7.2).
+    """
+    from repro.dram.timing import DDR3_TIMING, LPDDR2_TIMING, RLDRAM3_TIMING
+    if kind is DRAMKind.DDR3:
+        return PowerModel(kind, DDR3_TIMING, DDR3_CURRENTS, DDR3_IO,
+                          refresh_enabled)
+    if kind is DRAMKind.RLDRAM3:
+        return PowerModel(kind, RLDRAM3_TIMING, RLDRAM3_CURRENTS, RLDRAM3_IO,
+                          refresh_enabled)
+    if server_adapted:
+        return PowerModel(kind, LPDDR2_TIMING, lpddr2_server_currents(),
+                          LPDDR2_SERVER_IO, refresh_enabled)
+    return PowerModel(kind, LPDDR2_TIMING, LPDDR2_NATIVE_CURRENTS,
+                      LPDDR2_NATIVE_IO, refresh_enabled)

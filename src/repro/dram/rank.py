@@ -1,0 +1,166 @@
+"""Rank model: a set of banks sharing tFAW, turnaround, and power state.
+
+The rank also owns the power-down state machine used by the aggressive
+sleep-transition policy on the low-power channel (paper Sec 4.1): when a
+rank has been idle for a threshold the controller moves it to precharge
+power-down; wake-up costs ``t_pd_exit``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.device import DeviceConfig
+from repro.dram.timing import TimingSet
+
+
+class PowerState(enum.Enum):
+    ACTIVE = "active"            # at least one bank open (IDD3N class)
+    STANDBY = "standby"          # all banks precharged (IDD2N class)
+    POWER_DOWN = "power_down"    # precharge power-down (IDD2P class)
+    SELF_REFRESH = "self_refresh"
+
+
+@dataclass
+class PowerStateTally:
+    """Cycles spent resident in each power state, for the power model."""
+
+    active: int = 0
+    standby: int = 0
+    power_down: int = 0
+    self_refresh: int = 0
+
+    def total(self) -> int:
+        return self.active + self.standby + self.power_down + self.self_refresh
+
+
+class Rank:
+    """Banks plus rank-wide constraints (tFAW, tRRD, power-down)."""
+
+    def __init__(self, device: DeviceConfig, timing: TimingSet,
+                 index: int = 0) -> None:
+        self.device = device
+        self.timing = timing
+        self.index = index
+        self.banks: List[Bank] = [
+            Bank(timing=timing, index=b) for b in range(device.num_banks)
+        ]
+        # Sliding window of recent ACT times for the tFAW constraint.
+        self._recent_activates: List[int] = []
+        self.next_act_allowed = 0  # tRRD across banks
+        self.power_state = PowerState.STANDBY
+        self.wake_time = 0          # when a power-down exit completes
+        self.last_activity_time = 0
+        self.tally = PowerStateTally()
+        self._tally_mark = 0        # last time the tally was folded up
+        self.power_down_entries = 0
+
+    # --- tFAW / tRRD ----------------------------------------------------
+
+    def earliest_activate(self, now: int) -> int:
+        """Earliest time a new ACT satisfies tFAW and tRRD rank-wide."""
+        earliest = max(now, self.next_act_allowed, self.wake_time)
+        t_faw = self.timing.t_faw
+        if t_faw > 0 and len(self._recent_activates) >= 4:
+            fourth_last = self._recent_activates[-4]
+            earliest = max(earliest, fourth_last + t_faw)
+        return earliest
+
+    def can_activate(self, now: int) -> bool:
+        return self.earliest_activate(now) <= now
+
+    def note_activate(self, now: int) -> None:
+        """Record an ACT issued now (caller already checked legality)."""
+        self._recent_activates.append(now)
+        if len(self._recent_activates) > 8:
+            del self._recent_activates[:-8]
+        self.next_act_allowed = now + self.timing.t_rrd
+        self.touch(now)
+
+    # --- power-down management ------------------------------------------
+
+    def touch(self, now: int) -> None:
+        """Mark activity: wakes the rank if powered down."""
+        self._fold_tally(now)
+        self.last_activity_time = now
+        if self.power_state in (PowerState.POWER_DOWN, PowerState.SELF_REFRESH):
+            self.power_state = PowerState.STANDBY
+
+    def wake(self, now: int) -> int:
+        """Begin power-down exit; returns the time the rank is usable."""
+        if self.power_state not in (PowerState.POWER_DOWN,
+                                    PowerState.SELF_REFRESH):
+            return now
+        self._fold_tally(now)
+        self.power_state = PowerState.STANDBY
+        self.wake_time = now + self.timing.t_pd_exit
+        return self.wake_time
+
+    def try_power_down(self, now: int, idle_threshold: int) -> bool:
+        """Enter precharge power-down if idle long enough and all banks closed."""
+        if not self.device.supports_power_down:
+            return False
+        if self.power_state is not PowerState.STANDBY:
+            return False
+        if any(b.state is BankState.ACTIVE for b in self.banks):
+            return False
+        if now - self.last_activity_time < idle_threshold:
+            return False
+        self._fold_tally(now)
+        self.power_state = PowerState.POWER_DOWN
+        self.power_down_entries += 1
+        return True
+
+    def all_banks_idle(self) -> bool:
+        return all(b.state is BankState.IDLE for b in self.banks)
+
+    def _fold_tally(self, now: int) -> None:
+        span = now - self._tally_mark
+        if span <= 0:
+            self._tally_mark = max(self._tally_mark, now)
+            return
+        state = self._effective_state()
+        if state is PowerState.ACTIVE:
+            self.tally.active += span
+        elif state is PowerState.STANDBY:
+            self.tally.standby += span
+        elif state is PowerState.POWER_DOWN:
+            self.tally.power_down += span
+        else:
+            self.tally.self_refresh += span
+        self._tally_mark = now
+
+    def _effective_state(self) -> PowerState:
+        if self.power_state is PowerState.STANDBY and not self.all_banks_idle():
+            return PowerState.ACTIVE
+        return self.power_state
+
+    def finalize_tally(self, now: int) -> PowerStateTally:
+        """Fold residency up to ``now`` and return the tally."""
+        self._fold_tally(now)
+        return self.tally
+
+    # --- statistics -------------------------------------------------------
+
+    @property
+    def activate_count(self) -> int:
+        return sum(b.activate_count for b in self.banks)
+
+    @property
+    def read_count(self) -> int:
+        return sum(b.read_count for b in self.banks)
+
+    @property
+    def write_count(self) -> int:
+        return sum(b.write_count for b in self.banks)
+
+    def bank(self, index: int) -> Bank:
+        return self.banks[index]
+
+
+def open_row_of(rank: Rank, bank: int) -> Optional[int]:
+    """Convenience: the open row in ``bank`` or None."""
+    return rank.banks[bank].open_row

@@ -1,0 +1,99 @@
+"""Memory request records exchanged between the CPU side and controllers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+WORDS_PER_LINE = 8
+WORD_BYTES = 8
+LINE_BYTES = WORDS_PER_LINE * WORD_BYTES
+
+_request_ids = itertools.count()
+
+
+class RequestKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class DecodedAddress:
+    """Physical address decomposed by an :class:`AddressMapper`."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass
+class MemoryRequest:
+    """One cache-line-granularity DRAM access.
+
+    ``critical_word`` is the word (0-7) the CPU actually asked for; the
+    controller reorders the burst so it is transferred first (conventional
+    CWF) and the heterogeneous system uses it to decide whether the
+    RLDRAM part can serve the wake-up.
+
+    Completion is signalled through two callbacks:
+
+    * ``on_critical_word(time)`` — the requested word is at the CPU.
+    * ``on_complete(time)`` — the whole line transfer is done.
+    """
+
+    kind: RequestKind
+    address: int
+    critical_word: int = 0
+    is_prefetch: bool = False
+    core_id: int = 0
+    arrival_time: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    decoded: Optional[DecodedAddress] = None
+    on_critical_word: Optional[Callable[[int], None]] = None
+    on_complete: Optional[Callable[[int], None]] = None
+
+    # --- set by the controller as the request moves through ---
+    first_command_time: Optional[int] = None
+    data_start_time: Optional[int] = None
+    critical_word_time: Optional[int] = None
+    completion_time: Optional[int] = None
+    # Promotion flag: an aged prefetch is treated as a demand (Sec 5).
+    promoted: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.critical_word < WORDS_PER_LINE:
+            raise ValueError(f"critical_word must be 0..7, got {self.critical_word}")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+    @property
+    def line_address(self) -> int:
+        return self.address // LINE_BYTES
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is RequestKind.READ
+
+    @property
+    def queue_latency(self) -> Optional[int]:
+        """Cycles the request waited before its first DRAM command."""
+        if self.first_command_time is None:
+            return None
+        return self.first_command_time - self.arrival_time
+
+    @property
+    def core_latency(self) -> Optional[int]:
+        """Cycles from first DRAM command to critical word delivery."""
+        if self.first_command_time is None or self.critical_word_time is None:
+            return None
+        return self.critical_word_time - self.first_command_time
+
+    @property
+    def total_latency(self) -> Optional[int]:
+        if self.critical_word_time is None:
+            return None
+        return self.critical_word_time - self.arrival_time

@@ -1,0 +1,162 @@
+"""DRAM timing parameter sets.
+
+The nanosecond values are taken verbatim from Table 2 of the paper;
+parameters the paper leaves blank for RLDRAM3 (tRCD, tRP, tRAS, tFAW) are
+zero because RLDRAM3 uses SRAM-style single-command addressing with
+automatic precharge — the whole array access is folded into tRC/tRL.
+
+All durations convert to integer CPU cycles via :class:`TimingSet`, which
+is what the bank/rank/channel state machines consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.cycles import DEFAULT_CPU_FREQ_GHZ, ns_to_cycles
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Device timing in physical units (ns unless noted).
+
+    Attributes mirror standard JEDEC names:
+
+    * ``t_rc`` — bank turnaround: ACT-to-ACT on one bank.
+    * ``t_rcd`` — ACT to column command.
+    * ``t_rl`` — read latency: column-read to first data beat.
+    * ``t_rp`` — precharge period.
+    * ``t_ras`` — minimum ACT-to-PRE.
+    * ``t_rtrs_bus_cycles`` — rank-to-rank data-bus switch (bus cycles).
+    * ``t_faw`` — four-activate window (0 = unrestricted, RLDRAM3).
+    * ``t_wtr`` — write-to-read turnaround (same rank).
+    * ``t_wl`` — write latency: column-write to first data beat.
+    * ``t_refi`` / ``t_rfc`` — refresh interval and refresh cycle time.
+    * ``t_rrd`` — ACT-to-ACT across banks of one rank.
+    * ``t_ccd_bus_cycles`` — column-to-column gap (bus cycles).
+    * ``burst_length`` — beats per column access.
+    * ``bus_freq_mhz`` — command/data clock; data is double-pumped.
+    """
+
+    name: str
+    t_rc: float
+    t_rcd: float
+    t_rl: float
+    t_rp: float
+    t_ras: float
+    t_rtrs_bus_cycles: int
+    t_faw: float
+    t_wtr: float
+    t_wl: float
+    t_refi: float = 7800.0
+    t_rfc: float = 160.0
+    t_rrd: float = 6.0
+    t_ccd_bus_cycles: int = 4
+    burst_length: int = 8
+    bus_freq_mhz: float = 800.0
+    # Power-down entry/exit (ns). LPDDR2's fast transitions are what let
+    # the paper put LPDDR2 ranks to sleep aggressively (Sec 6.1.3).
+    t_pd_entry: float = 10.0
+    t_pd_exit: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.t_rc <= 0 or self.t_rl <= 0:
+            raise ValueError(f"{self.name}: t_rc and t_rl must be positive")
+        if self.burst_length <= 0 or self.bus_freq_mhz <= 0:
+            raise ValueError(f"{self.name}: burst_length/bus_freq must be positive")
+
+    @property
+    def bus_cycle_ns(self) -> float:
+        """Duration of one bus clock in ns."""
+        return 1000.0 / self.bus_freq_mhz
+
+    @property
+    def t_burst(self) -> float:
+        """Data-bus occupancy of one burst in ns (double data rate)."""
+        return (self.burst_length / 2.0) * self.bus_cycle_ns
+
+
+@dataclass(frozen=True)
+class TimingSet:
+    """Timing converted to integer CPU cycles for the simulator core."""
+
+    params: TimingParameters
+    cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ
+    t_rc: int = field(init=False, default=0)
+    t_rcd: int = field(init=False, default=0)
+    t_rl: int = field(init=False, default=0)
+    t_rp: int = field(init=False, default=0)
+    t_ras: int = field(init=False, default=0)
+    t_rtrs: int = field(init=False, default=0)
+    t_faw: int = field(init=False, default=0)
+    t_wtr: int = field(init=False, default=0)
+    t_wl: int = field(init=False, default=0)
+    t_refi: int = field(init=False, default=0)
+    t_rfc: int = field(init=False, default=0)
+    t_rrd: int = field(init=False, default=0)
+    t_ccd: int = field(init=False, default=0)
+    t_burst: int = field(init=False, default=0)
+    bus_cycle: int = field(init=False, default=0)
+    t_pd_entry: int = field(init=False, default=0)
+    t_pd_exit: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        p = self.params
+        ghz = self.cpu_freq_ghz
+        conv = lambda ns: ns_to_cycles(ns, ghz)  # noqa: E731 - local shorthand
+        bus_ns = p.bus_cycle_ns
+        object.__setattr__(self, "t_rc", conv(p.t_rc))
+        object.__setattr__(self, "t_rcd", conv(p.t_rcd))
+        object.__setattr__(self, "t_rl", conv(p.t_rl))
+        object.__setattr__(self, "t_rp", conv(p.t_rp))
+        object.__setattr__(self, "t_ras", conv(p.t_ras))
+        object.__setattr__(self, "t_rtrs", conv(p.t_rtrs_bus_cycles * bus_ns))
+        object.__setattr__(self, "t_faw", conv(p.t_faw))
+        object.__setattr__(self, "t_wtr", conv(p.t_wtr))
+        object.__setattr__(self, "t_wl", conv(p.t_wl))
+        object.__setattr__(self, "t_refi", conv(p.t_refi))
+        object.__setattr__(self, "t_rfc", conv(p.t_rfc))
+        object.__setattr__(self, "t_rrd", conv(p.t_rrd))
+        object.__setattr__(self, "t_ccd", conv(p.t_ccd_bus_cycles * bus_ns))
+        object.__setattr__(self, "t_burst", conv(p.t_burst))
+        object.__setattr__(self, "bus_cycle", max(1, conv(bus_ns)))
+        object.__setattr__(self, "t_pd_entry", conv(p.t_pd_entry))
+        object.__setattr__(self, "t_pd_exit", conv(p.t_pd_exit))
+
+
+# --- Paper Table 2 presets -------------------------------------------------
+
+DDR3_TIMING = TimingParameters(
+    name="DDR3-1600",
+    t_rc=50.0, t_rcd=13.5, t_rl=13.5, t_rp=13.5, t_ras=37.0,
+    t_rtrs_bus_cycles=2, t_faw=40.0, t_wtr=7.5, t_wl=6.5,
+    bus_freq_mhz=800.0,
+    t_pd_entry=10.0, t_pd_exit=24.0,
+)
+
+LPDDR2_TIMING = TimingParameters(
+    name="LPDDR2-800",
+    t_rc=60.0, t_rcd=18.0, t_rl=18.0, t_rp=18.0, t_ras=42.0,
+    t_rtrs_bus_cycles=2, t_faw=50.0, t_wtr=7.5, t_wl=6.5,
+    bus_freq_mhz=400.0,
+    # LPDDR2 enters and leaves power-down faster than DDR3, which the
+    # paper exploits with an aggressive sleep-transition policy.
+    t_pd_entry=7.5, t_pd_exit=15.0,
+)
+
+RLDRAM3_TIMING = TimingParameters(
+    name="RLDRAM3",
+    t_rc=12.0, t_rcd=0.0, t_rl=10.0, t_rp=0.0, t_ras=0.0,
+    t_rtrs_bus_cycles=2, t_faw=0.0, t_wtr=0.0, t_wl=11.25,
+    t_rrd=1.25,  # no activation-window restrictions (Sec 2.3)
+    bus_freq_mhz=800.0,
+    # RLDRAM trades power management for latency; make power-down slow
+    # enough that the controller effectively never uses it.
+    t_pd_entry=100.0, t_pd_exit=200.0,
+)
+
+TIMING_PRESETS = {
+    "ddr3": DDR3_TIMING,
+    "lpddr2": LPDDR2_TIMING,
+    "rldram3": RLDRAM3_TIMING,
+}

@@ -1,0 +1,11 @@
+"""System-level energy roll-up (paper Section 6.1.3 methodology)."""
+
+from repro.energy.model import (
+    SystemEnergyModel,
+    EnergyReport,
+    memory_power_report,
+    weighted_speedup,
+)
+
+__all__ = ["SystemEnergyModel", "EnergyReport", "memory_power_report",
+           "weighted_speedup"]

@@ -1,0 +1,56 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment returns an :class:`~repro.experiments.runner.ExperimentTable`
+whose rows regenerate the corresponding paper artefact. Simulation
+results are cached on disk (keyed by benchmark, memory kind, and run
+parameters) so figures that share runs — e.g. Fig 6/7/8 — simulate once.
+
+Environment knobs:
+
+* ``REPRO_READS`` — target demand fetches per run (default 2000; the
+  paper uses 2M — scale up for tighter numbers).
+* ``REPRO_BENCHMARKS`` — comma-separated subset of the suite.
+* ``REPRO_CACHE`` — cache directory (default ``.repro_cache``), or
+  ``off`` to disable.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    ResultCache,
+    default_config,
+    run_cached,
+)
+from repro.experiments import (  # noqa: F401  (registry import)
+    homogeneous,
+    power_curves,
+    criticality,
+    cwf_eval,
+    energy_eval,
+    controls,
+    page_placement,
+    tables,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1a": homogeneous.figure_1a,
+    "fig1b": homogeneous.figure_1b,
+    "fig2": power_curves.figure_2,
+    "fig3": criticality.figure_3,
+    "fig4": criticality.figure_4,
+    "fig6": cwf_eval.figure_6,
+    "fig7": cwf_eval.figure_7,
+    "fig8": cwf_eval.figure_8,
+    "fig9": cwf_eval.figure_9,
+    "fig10": energy_eval.figure_10,
+    "fig11": energy_eval.figure_11,
+    "tab1": tables.table_1,
+    "tab2": tables.table_2,
+    "sec611_random": controls.random_mapping,
+    "sec611_noprefetch": controls.no_prefetcher,
+    "sec71": page_placement.section_7_1,
+    "sec72": energy_eval.section_7_2,
+}
+
+__all__ = ["ExperimentConfig", "ExperimentTable", "ResultCache",
+           "default_config", "run_cached", "ALL_EXPERIMENTS"]

@@ -1,0 +1,132 @@
+"""Figures 3 and 4: critical-word regularity.
+
+Fig 3 — for the most-accessed cache lines of leslie3d and mcf, the
+distribution of accesses across the 8 words (paper: strong per-line
+bias; leslie3d's mass on word 0, mcf's spread over words but stable
+per line). Fig 4 — per-benchmark distribution of critical words over
+all DRAM fetches (paper: word 0 critical for >50 % of fetches in 21 of
+27 programs; suite average 67 %).
+
+These are trace-level profiles: we drive the cache hierarchy with the
+benchmark's traces on the baseline memory and observe demand LLC misses
+through :class:`~repro.core.criticality.CriticalityProfiler`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.criticality import CriticalityProfiler
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    default_config,
+    run_cached,
+)
+from repro.sim.config import MemoryKind
+from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
+from repro.workloads.profiles import FIG3_BENCHMARKS, profile_for
+
+
+def shrunken_profile(benchmark: str):
+    """Footprint-shrunken variant used for reuse-sensitive profiling.
+
+    The paper's Fig 3 monitors a billion cycles, long enough for hot
+    lines to be fetched from DRAM many times. Our runs are far shorter,
+    so the profiling pass shrinks the footprint (keeping it well above
+    the LLC) to recreate the same DRAM-level line reuse.
+    """
+    import dataclasses
+    profile = profile_for(benchmark)
+    return dataclasses.replace(
+        profile,
+        footprint_lines=max(16384, profile.footprint_lines // 64))
+
+
+def profiling_result(benchmark: str, config: ExperimentConfig):
+    """Cached run of the shrunken-footprint profiling pass."""
+    from repro.experiments.runner import run_cached
+    from repro.sim.system import run_benchmark
+
+    def runner():
+        sim_config = config.sim_config(MemoryKind.DDR3)
+        profile = shrunken_profile(benchmark)
+        traces = make_traces(profile, sim_config)
+        system = SimulationSystem(sim_config, traces, profile=profile)
+        prewarm_l2(system, profile)
+        result = system.run()
+        result.benchmark = benchmark
+        return result
+
+    return run_cached(benchmark, MemoryKind.DDR3, config,
+                      variant="profiling", runner=runner)
+
+
+def profile_benchmark(benchmark: str,
+                      config: ExperimentConfig) -> CriticalityProfiler:
+    """Run the baseline once, returning the live profiler object."""
+    sim_config = config.sim_config(MemoryKind.DDR3)
+    profile = shrunken_profile(benchmark)
+    traces = make_traces(profile, sim_config)
+    system = SimulationSystem(sim_config, traces, profile=profile)
+    prewarm_l2(system, profile)
+    system.run()
+    return system.profiler
+
+
+def figure_3(config: ExperimentConfig = None,
+             benchmarks: tuple = FIG3_BENCHMARKS,
+             top_lines: int = 10) -> ExperimentTable:
+    config = config or default_config()
+    table = ExperimentTable(
+        experiment_id="fig3",
+        title="Per-line critical word histograms (most-accessed lines)",
+        columns=["benchmark", "line_rank", "dominant_word",
+                 "dominant_fraction"] + [f"w{i}" for i in range(8)],
+        notes="Paper: each hot line shows a well-defined bias toward one "
+              "or two words (word 0 for leslie3d; varied words for mcf).")
+    for bench in benchmarks:
+        profiler = profile_benchmark(bench, config)
+        for rank, hist in enumerate(profiler.top_lines(top_lines)):
+            fracs = hist.fractions()
+            table.add(benchmark=bench, line_rank=rank,
+                      dominant_word=hist.dominant_word(),
+                      dominant_fraction=max(fracs) if hist.total else 0.0,
+                      **{f"w{i}": fracs[i] for i in range(8)})
+        table.add(benchmark=f"{bench}-mean-dominance", line_rank=-1,
+                  dominant_word=-1,
+                  dominant_fraction=profiler.per_line_dominance(),
+                  **{f"w{i}": 0.0 for i in range(8)})
+    return table
+
+
+def figure_4(config: ExperimentConfig = None) -> ExperimentTable:
+    config = config or default_config()
+    table = ExperimentTable(
+        experiment_id="fig4",
+        title="Distribution of critical words per benchmark",
+        columns=["benchmark", "word0_fraction", "repeat_fraction"]
+                + [f"w{i}" for i in range(8)],
+        notes="Paper: word 0 critical in >50% of fetches for 21/27 programs;"
+              " suite average 67%. repeat_fraction is the adaptive"
+              " predictor's upper bound (~79%).")
+    word0: List[float] = []
+    over_half = 0
+    for bench in config.suite():
+        result = run_cached(bench, MemoryKind.DDR3, config)
+        dist = result.critical_distribution or [0.0] * 8
+        # The adaptive bound needs DRAM-level line *refetches*; use the
+        # reuse-heavy profiling pass for that column.
+        repeat = profiling_result(bench, config).repeat_fraction
+        table.add(benchmark=bench, word0_fraction=result.word0_fraction,
+                  repeat_fraction=repeat,
+                  **{f"w{i}": dist[i] for i in range(8)})
+        word0.append(result.word0_fraction)
+        if result.word0_fraction > 0.5:
+            over_half += 1
+    table.add(benchmark="MEAN",
+              word0_fraction=sum(word0) / len(word0) if word0 else 0.0,
+              repeat_fraction=table.mean("repeat_fraction"),
+              **{f"w{i}": 0.0 for i in range(8)})
+    table.notes += f" Measured: {over_half}/{len(word0)} programs above 50%."
+    return table

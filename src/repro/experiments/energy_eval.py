@@ -1,0 +1,103 @@
+"""Figures 10-11 and Section 7.2: energy analysis.
+
+* Fig 10 — system energy of RD / RL / DL normalised to the DDR3
+  baseline (paper: RL -6 %, DL -13 %; memory energy -15 % for RL).
+* Fig 11 — per-workload scatter of bandwidth utilisation vs RL energy
+  savings (paper: savings grow with utilisation).
+* Sec 7.2 — the Malladi-style unterminated-LPDRAM variant: recompute RL
+  memory power without the server ODT/DLL adders (paper: energy savings
+  grow to 26.1 %).
+"""
+
+from __future__ import annotations
+
+from repro.energy.model import SystemEnergyModel, memory_power_report
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    default_config,
+    run_cached,
+)
+from repro.sim.config import MemoryKind
+from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
+from repro.workloads.profiles import profile_for
+
+CWF_KINDS = (MemoryKind.RD, MemoryKind.RL, MemoryKind.DL)
+
+
+def figure_10(config: ExperimentConfig = None) -> ExperimentTable:
+    config = config or default_config()
+    table = ExperimentTable(
+        experiment_id="fig10",
+        title="System energy normalised to DDR3 baseline",
+        columns=["benchmark", "rd", "rl", "dl", "rl_memory_energy"],
+        notes="Paper: RL system energy -6%, DL -13%; RL memory energy -15%.")
+    for bench in config.suite():
+        base = run_cached(bench, MemoryKind.DDR3, config)
+        model = SystemEnergyModel(base)
+        row = {"benchmark": bench}
+        for kind in CWF_KINDS:
+            result = run_cached(bench, kind, config)
+            row[kind.value] = model.report(result).normalized_system_energy
+        rl = run_cached(bench, MemoryKind.RL, config)
+        row["rl_memory_energy"] = model.report(rl).normalized_memory_energy
+        table.add(**row)
+    table.add(benchmark="MEAN",
+              **{c: table.mean(c) for c in ("rd", "rl", "dl",
+                                            "rl_memory_energy")})
+    return table
+
+
+def figure_11(config: ExperimentConfig = None) -> ExperimentTable:
+    config = config or default_config()
+    table = ExperimentTable(
+        experiment_id="fig11",
+        title="Bandwidth utilisation vs RL system-energy savings",
+        columns=["benchmark", "bus_utilization", "energy_savings"],
+        notes="Paper: energy savings generally increase with utilisation "
+              "(RLDRAM's power gap shrinks at high activity).")
+    for bench in config.suite():
+        base = run_cached(bench, MemoryKind.DDR3, config)
+        rl = run_cached(bench, MemoryKind.RL, config)
+        model = SystemEnergyModel(base)
+        savings = 1.0 - model.report(rl).normalized_system_energy
+        table.add(benchmark=bench, bus_utilization=base.bus_utilization,
+                  energy_savings=savings)
+    return table
+
+
+def section_7_2(config: ExperimentConfig = None) -> ExperimentTable:
+    """Unterminated LPDRAM (Malladi et al. style): no ODT/DLL adders."""
+    config = config or default_config()
+    table = ExperimentTable(
+        experiment_id="sec72",
+        title="RL memory energy with unterminated (native) LPDRAM",
+        columns=["benchmark", "server_adapted", "unterminated",
+                 "savings_boost"],
+        notes="Paper: dropping the ODT/DLL server adaptation boosts energy "
+              "savings to 26.1%.")
+    for bench in config.suite():
+        sim_config = config.sim_config(MemoryKind.RL)
+        profile = profile_for(bench)
+        traces = make_traces(profile, sim_config)
+        system = SimulationSystem(sim_config, traces, profile=profile)
+        prewarm_l2(system, profile)
+        result = system.run()
+        adapted = memory_power_report(system.memory, result.elapsed_cycles,
+                                      server_adapted_lpdram=True)
+        native = memory_power_report(system.memory, result.elapsed_cycles,
+                                     server_adapted_lpdram=False)
+        a_total = sum(adapted.values())
+        n_total = sum(native.values())
+        base = run_cached(bench, MemoryKind.DDR3, config)
+        base_energy = base.memory_power_mw * base.elapsed_cycles
+        adapted_sav = 1 - (a_total * result.elapsed_cycles) / base_energy
+        native_sav = 1 - (n_total * result.elapsed_cycles) / base_energy
+        table.add(benchmark=bench, server_adapted=adapted_sav,
+                  unterminated=native_sav,
+                  savings_boost=native_sav - adapted_sav)
+    table.add(benchmark="MEAN",
+              server_adapted=table.mean("server_adapted"),
+              unterminated=table.mean("unterminated"),
+              savings_boost=table.mean("savings_boost"))
+    return table

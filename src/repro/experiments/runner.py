@@ -1,0 +1,161 @@
+"""Shared machinery for the per-figure experiment modules.
+
+Simulation runs are expensive in pure Python, so results are cached on
+disk keyed by (benchmark, memory kind, reads, options). Every figure
+module builds on :func:`run_cached` and returns an
+:class:`ExperimentTable` that formats itself for the console and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.config import MemoryKind, SimConfig
+from repro.sim.system import SimResult, run_benchmark
+from repro.workloads.profiles import benchmark_names
+
+DEFAULT_READS = 2000
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Run-scale knobs, overridable via environment variables."""
+
+    target_dram_reads: int = DEFAULT_READS
+    benchmarks: Sequence[str] = ()
+    cache_dir: Optional[str] = ".repro_cache"
+    seed: int = 42
+
+    def suite(self) -> List[str]:
+        return list(self.benchmarks) if self.benchmarks else benchmark_names()
+
+    def sim_config(self, memory: MemoryKind) -> SimConfig:
+        return SimConfig(memory=memory, seed=self.seed,
+                         target_dram_reads=self.target_dram_reads)
+
+
+def default_config() -> ExperimentConfig:
+    """ExperimentConfig from REPRO_READS / REPRO_BENCHMARKS / REPRO_CACHE."""
+    reads = int(os.environ.get("REPRO_READS", DEFAULT_READS))
+    benches = tuple(b for b in os.environ.get("REPRO_BENCHMARKS", "").split(",")
+                    if b.strip())
+    cache = os.environ.get("REPRO_CACHE", ".repro_cache")
+    return ExperimentConfig(
+        target_dram_reads=reads,
+        benchmarks=benches,
+        cache_dir=None if cache.lower() == "off" else cache)
+
+
+class ResultCache:
+    """Disk cache of :class:`SimResult` records."""
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.directory / f"{digest}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("__key__") != key:
+            return None
+        data.pop("__key__", None)
+        return SimResult(**data)
+
+    def put(self, key: str, result: SimResult) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        data = dataclasses.asdict(result)
+        data["__key__"] = key
+        path.write_text(json.dumps(data))
+
+
+_caches: Dict[str, ResultCache] = {}
+
+
+def _cache_for(config: ExperimentConfig) -> ResultCache:
+    key = config.cache_dir or "__off__"
+    if key not in _caches:
+        _caches[key] = ResultCache(config.cache_dir)
+    return _caches[key]
+
+
+def run_cached(benchmark: str, memory: MemoryKind,
+               config: ExperimentConfig,
+               variant: str = "",
+               runner: Optional[Callable[[], SimResult]] = None) -> SimResult:
+    """Run (or recall) one benchmark on one memory organisation.
+
+    ``variant`` distinguishes non-default setups (e.g. "noprefetch");
+    ``runner`` overrides the default run for such variants.
+    """
+    key = "|".join(["v5", benchmark, memory.value, variant,
+                    str(config.target_dram_reads), str(config.seed)])
+    cache = _cache_for(config)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    if runner is not None:
+        result = runner()
+    else:
+        result = run_benchmark(benchmark, config.sim_config(memory))
+    cache.put(key, result)
+    return result
+
+
+@dataclass
+class ExperimentTable:
+    """One regenerated paper artefact."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **kwargs: object) -> None:
+        self.rows.append(kwargs)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def mean(self, name: str) -> float:
+        values = [v for v in self.column(name) if isinstance(v, (int, float))]
+        return sum(values) / len(values) if values else 0.0
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        widths = {c: max(len(c), 10) for c in self.columns}
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            cells = []
+            for c in self.columns:
+                v = row.get(c, "")
+                if isinstance(v, float):
+                    v = f"{v:.3f}"
+                cells.append(str(v).ljust(widths[c]))
+            lines.append("  ".join(cells))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Memory-system assemblies: the DDR3 baseline and homogeneous variants.
+
+The heterogeneous critical-word-first systems (the paper's contribution)
+live in :mod:`repro.core`; they implement the same
+:class:`~repro.memsys.base.MemorySystem` interface so that the uncore
+and experiment harness are agnostic to the memory organisation.
+"""
+
+from repro.memsys.base import MemorySystem, MemorySystemStats
+from repro.memsys.homogeneous import HomogeneousMemory
+
+__all__ = ["MemorySystem", "MemorySystemStats", "HomogeneousMemory"]

@@ -1,0 +1,80 @@
+"""Abstract interface between the uncore and a main-memory organisation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.dram.power import ChipActivity
+
+
+@dataclass
+class MemorySystemStats:
+    """Roll-up the experiment harness reads after a run."""
+
+    reads: int = 0
+    demand_reads: int = 0
+    writes: int = 0
+    critical_served_fast: int = 0      # critical word came from the fast DIMM
+    critical_served_slow: int = 0
+    sum_critical_latency: int = 0      # arrival -> critical word (demands)
+    sum_fill_latency: int = 0          # arrival -> full line (all reads)
+
+    @property
+    def avg_critical_latency(self) -> float:
+        if not self.demand_reads:
+            return 0.0
+        return self.sum_critical_latency / self.demand_reads
+
+    @property
+    def avg_fill_latency(self) -> float:
+        return self.sum_fill_latency / self.reads if self.reads else 0.0
+
+    @property
+    def fast_service_fraction(self) -> float:
+        total = self.critical_served_fast + self.critical_served_slow
+        return self.critical_served_fast / total if total else 0.0
+
+
+class MemorySystem(abc.ABC):
+    """A main memory reachable from the LLC.
+
+    Contract:
+
+    * :meth:`issue_read` starts a line fill. ``on_critical`` fires when
+      the *requested word* is at the processor pins — from whichever part
+      of the organisation carries it (the fast DIMM, or the first beat of
+      the reordered bulk burst). ``on_complete`` fires when the whole
+      line has arrived. Returns ``False`` if a controller queue is full
+      (caller must retry).
+    * :meth:`issue_write` enqueues a writeback. ``critical_word_tag`` is
+      the observed critical word the adaptive scheme may persist.
+    """
+
+    stats: MemorySystemStats
+
+    @abc.abstractmethod
+    def issue_read(self, line_address: int, critical_word: int, core_id: int,
+                   is_prefetch: bool,
+                   on_critical: Callable[[int], None],
+                   on_complete: Callable[[int], None]) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def issue_write(self, line_address: int, critical_word_tag: int,
+                    core_id: int) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def chip_activities(self, elapsed_cycles: int) -> Dict[str, List[ChipActivity]]:
+        """Per-chip activity factors keyed by chip family name."""
+        ...
+
+    @abc.abstractmethod
+    def bus_utilization(self, elapsed_cycles: int) -> float:
+        """Mean data-bus utilisation across the system's channels."""
+        ...
+
+    def finalize(self) -> None:
+        """Fold any residency tallies; called once at end of run."""

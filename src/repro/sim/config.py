@@ -1,0 +1,182 @@
+"""Top-level simulation configuration (paper Table 1) and memory-system
+factory descriptors.
+
+:class:`MemoryKind` enumerates every memory organisation the paper
+evaluates; :func:`build_memory` turns one into a live
+:class:`~repro.memsys.base.MemorySystem` attached to an event queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.cwf import (
+    CriticalWordMemory,
+    CWFConfig,
+    CWFPolicy,
+    HeteroPair,
+)
+from repro.core.placement import (
+    PagePlacementConfig,
+    PagePlacementMemory,
+    profile_page_heat,
+)
+from repro.cpu.core import CoreConfig
+from repro.cpu.prefetch import PrefetcherConfig
+from repro.cpu.uncore import UncoreConfig
+from repro.dram.device import DRAMKind
+from repro.memsys.base import MemorySystem
+from repro.memsys.homogeneous import HomogeneousConfig, HomogeneousMemory
+from repro.util.events import EventQueue
+
+
+class MemoryKind(enum.Enum):
+    """Every memory organisation evaluated in the paper."""
+
+    DDR3 = "ddr3"                    # baseline: 4 x 72-bit DDR3
+    RLDRAM3 = "rldram3"              # Fig 1 homogeneous
+    LPDDR2 = "lpddr2"                # Fig 1 homogeneous
+    RD = "rd"                        # CWF: RLDRAM3 + DDR3
+    RL = "rl"                        # CWF: RLDRAM3 + LPDDR2 (flagship)
+    DL = "dl"                        # CWF: DDR3 + LPDDR2
+    RL_ADAPTIVE = "rl_adaptive"      # Sec 4.2.5
+    RL_ORACLE = "rl_oracle"          # Sec 6.1.2 upper bound
+    RL_RANDOM = "rl_random"          # Sec 6.1.1 control
+    PAGE_PLACEMENT = "page_placement"  # Sec 7.1
+
+
+_CWF_KINDS = {
+    MemoryKind.RD: (HeteroPair.RD, CWFPolicy.STATIC),
+    MemoryKind.RL: (HeteroPair.RL, CWFPolicy.STATIC),
+    MemoryKind.DL: (HeteroPair.DL, CWFPolicy.STATIC),
+    MemoryKind.RL_ADAPTIVE: (HeteroPair.RL, CWFPolicy.ADAPTIVE),
+    MemoryKind.RL_ORACLE: (HeteroPair.RL, CWFPolicy.ORACLE),
+    MemoryKind.RL_RANDOM: (HeteroPair.RL, CWFPolicy.RANDOM),
+}
+
+_HOMOGENEOUS_KINDS = {
+    MemoryKind.DDR3: DRAMKind.DDR3,
+    MemoryKind.RLDRAM3: DRAMKind.RLDRAM3,
+    MemoryKind.LPDDR2: DRAMKind.LPDDR2,
+}
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Paper Table 1 defaults."""
+
+    memory: MemoryKind = MemoryKind.DDR3
+    num_cores: int = 8
+    cpu_freq_ghz: float = 3.2
+    core: CoreConfig = field(default_factory=CoreConfig)
+    uncore: UncoreConfig = field(default_factory=UncoreConfig)
+    seed: int = 42
+    # Target demand DRAM fetches per run (the paper uses 2M; scale down
+    # for pure-Python wall-clock, the shape is preserved).
+    target_dram_reads: int = 12000
+
+    def with_memory(self, memory: MemoryKind) -> "SimConfig":
+        from dataclasses import replace
+        return replace(self, memory=memory)
+
+    def without_prefetcher(self) -> "SimConfig":
+        from dataclasses import replace
+        uncore = UncoreConfig(
+            l1=self.uncore.l1, l2=self.uncore.l2,
+            mshr_capacity=self.uncore.mshr_capacity,
+            prefetcher=PrefetcherConfig(enabled=False),
+            writeback_retry_interval=self.uncore.writeback_retry_interval)
+        return replace(self, uncore=uncore)
+
+
+def adaptive_tag_seeder(profile, seed_probability: float = 0.8):
+    """Steady-state adaptive tags (paper Sec 4.2.5).
+
+    The paper measures after a 2 B-instruction fast-forward, by which
+    time most previously-written lines have been re-organised so their
+    last critical word sits on the fast DIMM. We model that warm state:
+    a line not yet written during the measured window falls back to its
+    expected preferred word with probability ``seed_probability``
+    (the chance it was dirtied and re-organised before measurement),
+    else to word 0 (never written — layout never altered).
+    """
+    from repro.workloads.synthetic import preferred_word_for_global_line
+
+    def seeder(line_address: int) -> int:
+        h = (line_address * 0x2545F4914F6CDD1D) & ((1 << 64) - 1)
+        if (h >> 33) % 1000 >= seed_probability * 1000:
+            return 0  # never written during warm-up: layout unaltered
+        # Re-organised to its last critical word: word 0 for lines
+        # touched by streams, the stable preferred word for chased lines.
+        if ((h >> 13) % 1000) < profile.stream_fraction * 1000:
+            return 0
+        return preferred_word_for_global_line(profile, line_address)
+
+    return seeder
+
+
+def build_memory(config: SimConfig, events: EventQueue,
+                 traces: Optional[Sequence] = None,
+                 profile=None) -> MemorySystem:
+    """Instantiate the memory organisation described by ``config``.
+
+    ``traces`` is required for PAGE_PLACEMENT (offline profiling pass);
+    ``profile`` enables warm adaptive tags for RL_ADAPTIVE.
+    """
+    kind = config.memory
+    if kind in _HOMOGENEOUS_KINDS:
+        return HomogeneousMemory(
+            events,
+            HomogeneousConfig(kind=_HOMOGENEOUS_KINDS[kind],
+                              cpu_freq_ghz=config.cpu_freq_ghz))
+    if kind in _CWF_KINDS:
+        pair, policy = _CWF_KINDS[kind]
+        seeder = None
+        if policy is CWFPolicy.ADAPTIVE and profile is not None:
+            seeder = adaptive_tag_seeder(profile)
+        return CriticalWordMemory(
+            events, CWFConfig(pair=pair, policy=policy,
+                              cpu_freq_ghz=config.cpu_freq_ghz),
+            tag_seeder=seeder)
+    if kind is MemoryKind.PAGE_PLACEMENT:
+        # Offline profiling pass (paper Sec 7.1): rank pages over a long
+        # profiling trace — the paper profiles the whole execution, not
+        # just the measured window.
+        if profile is not None:
+            from repro.workloads.synthetic import TraceGenerator
+            profiling = [TraceGenerator(profile, core, config.seed).records(30_000)
+                         for core in range(config.num_cores)]
+        elif traces is not None:
+            profiling = traces
+        else:
+            raise ValueError("PAGE_PLACEMENT needs a profile or traces")
+        ranking = profile_page_heat(profiling)
+        return PagePlacementMemory(
+            events, ranking,
+            PagePlacementConfig(cpu_freq_ghz=config.cpu_freq_ghz))
+    raise ValueError(f"unhandled memory kind {kind}")
+
+
+# Paper Table 1, for the table-reproduction bench and the README.
+TABLE1 = {
+    "ISA": "UltraSPARC III ISA",
+    "CMP size and Core Freq.": "8-core, 3.2 GHz",
+    "Re-Order-Buffer": "64 entry",
+    "Fetch, Dispatch, Execute, Retire": "Maximum 4 per cycle",
+    "L1 I-cache": "32KB/2-way, private, 1-cycle",
+    "L1 D-cache": "32KB/2-way, private, 1-cycle",
+    "L2 Cache": "4MB/64B/8-way, shared, 10-cycle",
+    "Coherence Protocol": "Snooping MESI",
+    "DDR3": "MT41J256M8 DDR3-1600",
+    "RLDRAM3": "Micron MT44K32M18",
+    "LPDDR-2": "Micron MT42L128M16D1 (400MHz)",
+    "Baseline DRAM": "4 72-bit channels, 1 DIMM/channel, "
+                     "1 rank/DIMM, 9 devices/rank (unbuffered, ECC)",
+    "Total DRAM Capacity": "8 GB",
+    "DRAM Bus Frequency": "800MHz",
+    "DRAM Read Queue": "48 entries per channel",
+    "DRAM Write Queue Size": "48 entries per channel",
+    "High/Low Watermarks": "32/16",
+}

@@ -1,0 +1,239 @@
+"""The simulation harness: cores + uncore + memory, run to completion.
+
+A run executes a fixed instruction trace per core (identical across
+memory configurations, the paper's methodology) and reports IPC,
+latency, bandwidth, and power-model inputs. Throughput comparisons
+normalise the sum of per-core IPCs to a baseline run — for rate-mode
+workloads (8 copies of one program) this equals the paper's weighted
+speedup up to a constant factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.criticality import CriticalityProfiler
+from repro.cpu.core import Core, TraceRecord
+from repro.cpu.uncore import Uncore
+from repro.dram.power import ChipPowerBreakdown, default_power_model
+from repro.memsys.base import MemorySystem
+from repro.sim.config import MemoryKind, SimConfig, build_memory
+from repro.util.events import EventQueue
+from repro.workloads.profiles import BenchmarkProfile, profile_for
+from repro.workloads.synthetic import generate_core_trace
+
+
+@dataclass
+class SimResult:
+    """Everything the experiment harness needs from one run."""
+
+    benchmark: str
+    memory: str
+    num_cores: int
+    elapsed_cycles: int
+    instructions: int
+    per_core_ipc: List[float]
+    dram_reads: int
+    dram_writes: int
+    demand_reads: int
+    avg_queue_latency: float
+    avg_core_latency: float
+    avg_critical_latency: float
+    avg_fill_latency: float
+    fast_service_fraction: float
+    bus_utilization: float
+    memory_power_mw: float
+    memory_power_by_family: Dict[str, float]
+    l2_hit_rate: float
+    word0_fraction: float = 0.0
+    repeat_fraction: float = 0.0
+    critical_distribution: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Sum of per-core IPCs (normalise to a baseline run)."""
+        return sum(self.per_core_ipc)
+
+    @property
+    def memory_energy_mj(self) -> float:
+        """Memory energy over the run, in microjoule-scale units
+        (mW x cycles / freq; consistent across configs)."""
+        return self.memory_power_mw * self.elapsed_cycles
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        return self.throughput / baseline.throughput if baseline.throughput else 0.0
+
+
+class SimulationSystem:
+    """Assembled cores + uncore + memory, runnable once."""
+
+    def __init__(self, config: SimConfig,
+                 traces: Sequence[List[TraceRecord]],
+                 memory: Optional[MemorySystem] = None,
+                 profile: Optional[BenchmarkProfile] = None) -> None:
+        self.config = config
+        self.events = EventQueue()
+        self.memory = memory if memory is not None else build_memory(
+            config, self.events, traces, profile=profile)
+        self.uncore = Uncore(len(traces), self.memory, self.events,
+                             config.uncore)
+        self.profiler = CriticalityProfiler()
+        self.uncore.demand_miss_observer = self.profiler.observe
+        self._finished = 0
+        self.cores: List[Core] = [
+            Core(i, list(trace), self.uncore, self.events, config.core,
+                 on_finish=self._core_finished)
+            for i, trace in enumerate(traces)
+        ]
+
+    def _core_finished(self, core: Core) -> None:
+        self._finished += 1
+
+    def run(self, max_events: int = 200_000_000) -> "SimResult":
+        for core in self.cores:
+            core.start()
+        executed = 0
+        while self._finished < len(self.cores):
+            if not self.events.step():
+                raise RuntimeError(
+                    f"deadlock: {self._finished}/{len(self.cores)} cores "
+                    f"finished, event queue empty at t={self.events.now}")
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError("simulation exceeded max_events")
+        return self._collect()
+
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> SimResult:
+        elapsed = max((c.finish_time or 0) for c in self.cores)
+        elapsed = max(elapsed, 1)
+        self.memory.finalize()
+        power_by_family, total_mw = self._memory_power(elapsed)
+        stats = self.memory.stats
+        queue_lat = getattr(self.memory, "avg_queue_latency", lambda: 0.0)()
+        core_lat = getattr(self.memory, "avg_core_latency", lambda: 0.0)()
+        return SimResult(
+            benchmark="",
+            memory=self.config.memory.value,
+            num_cores=len(self.cores),
+            elapsed_cycles=elapsed,
+            instructions=sum(c.instructions for c in self.cores),
+            per_core_ipc=[c.instructions / elapsed for c in self.cores],
+            dram_reads=self.uncore.dram_reads,
+            dram_writes=self.uncore.dram_writes,
+            demand_reads=stats.demand_reads,
+            avg_queue_latency=queue_lat,
+            avg_core_latency=core_lat,
+            avg_critical_latency=stats.avg_critical_latency,
+            avg_fill_latency=stats.avg_fill_latency,
+            fast_service_fraction=stats.fast_service_fraction,
+            bus_utilization=self.memory.bus_utilization(elapsed),
+            memory_power_mw=total_mw,
+            memory_power_by_family=power_by_family,
+            l2_hit_rate=self.uncore.l2.hit_rate,
+            word0_fraction=self.profiler.word0_fraction,
+            repeat_fraction=self.profiler.repeat_fraction,
+            critical_distribution=self.profiler.distribution(),
+        )
+
+    def _memory_power(self, elapsed: int):
+        """Run every chip's activity through the Micron-style model."""
+        from repro.dram.device import DRAMKind
+        activities = self.memory.chip_activities(elapsed)
+        by_family: Dict[str, float] = {}
+        total = 0.0
+        for key, chips in activities.items():
+            family = key.split(":")[-1]
+            model = default_power_model(DRAMKind(family))
+            fam_total = sum(model.compute(a).total_mw for a in chips)
+            by_family[key] = fam_total
+            total += fam_total
+        return by_family, total
+
+
+def prewarm_l2(system: SimulationSystem, profile: BenchmarkProfile) -> None:
+    """Fill the shared L2 with plausible steady-state contents.
+
+    The paper fast-forwards 2 B instructions and warms up before
+    measuring, so measurement starts with a full L2 whose evictions
+    (some dirty) generate writeback traffic immediately. We model that
+    by populating the L2 with lines drawn from each core's footprint:
+    dirty with the profile's write probability, carrying the critical
+    word a fetch of that line would have observed.
+    """
+    import random as _random
+    from repro.dram.request import LINE_BYTES as _LB
+    from repro.workloads.synthetic import (
+        CORE_ADDRESS_STRIDE,
+        expected_critical_word,
+    )
+    l2 = system.uncore.l2
+    capacity = l2.config.num_sets * l2.config.associativity
+    per_core = capacity // len(system.cores)
+    for core in system.cores:
+        rng = _random.Random(0xC0FFEE ^ core.core_id)
+        base_line = core.core_id * (CORE_ADDRESS_STRIDE // _LB)
+        hot_span = min(profile.hot_lines, profile.footprint_lines)
+        for _ in range(per_core):
+            # Hot-region lines are the ones a warm cache would hold.
+            if profile.hot_fraction and rng.random() < 0.6:
+                line = base_line + rng.randrange(hot_span)
+            else:
+                line = base_line + rng.randrange(profile.footprint_lines)
+            word = expected_critical_word(profile, line, rng)
+            l2.insert(line, dirty=rng.random() < profile.write_fraction,
+                      critical_word=word)
+
+
+def run_benchmark(benchmark: str, config: SimConfig,
+                  traces: Optional[Sequence[List[TraceRecord]]] = None,
+                  warm: bool = True) -> SimResult:
+    """Generate traces for ``benchmark`` (unless given) and run once."""
+    profile = profile_for(benchmark)
+    if traces is None:
+        traces = make_traces(profile, config)
+    system = SimulationSystem(config, traces, profile=profile)
+    if warm:
+        prewarm_l2(system, profile)
+    result = system.run()
+    result.benchmark = benchmark
+    return result
+
+
+def make_traces(profile: BenchmarkProfile,
+                config: SimConfig) -> List[List[TraceRecord]]:
+    """Per-core deterministic traces sized for the configured fetch target."""
+    per_core = max(1, config.target_dram_reads // config.num_cores)
+    return [generate_core_trace(profile, core_id, per_core, config.seed)
+            for core_id in range(config.num_cores)]
+
+
+def run_weighted_speedup(benchmark: str, config: SimConfig,
+                         warm: bool = True) -> float:
+    """The paper's throughput metric: sum_i IPC_shared_i / IPC_alone_i.
+
+    ``IPC_alone_i`` comes from running core *i*'s trace on a single-core
+    system with the same memory organisation (the paper's definition).
+    For rate-mode workloads (8 copies of one program) this differs from
+    the sum-of-IPCs metric only by a near-constant factor, which is why
+    the figure harness uses sum-of-IPCs normalised to a baseline;
+    this helper exists for studies that need the exact metric.
+    """
+    import dataclasses
+    from repro.energy.model import weighted_speedup
+
+    shared = run_benchmark(benchmark, config, warm=warm)
+    profile = profile_for(benchmark)
+    per_core = max(1, config.target_dram_reads // config.num_cores)
+    alone_config = dataclasses.replace(config, num_cores=1)
+    alone_ipcs = []
+    for core_id in range(config.num_cores):
+        trace = generate_core_trace(profile, core_id, per_core, config.seed)
+        system = SimulationSystem(alone_config, [trace], profile=profile)
+        if warm:
+            prewarm_l2(system, profile)
+        result = system.run()
+        alone_ipcs.append(result.per_core_ipc[0])
+    return weighted_speedup(shared.per_core_ipc, alone_ipcs)

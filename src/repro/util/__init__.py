@@ -1,0 +1,6 @@
+"""Small shared utilities: event queue, cycle math, deterministic RNG helpers."""
+
+from repro.util.events import Event, EventQueue
+from repro.util.cycles import ns_to_cycles, cycles_to_ns, ceil_div
+
+__all__ = ["Event", "EventQueue", "ns_to_cycles", "cycles_to_ns", "ceil_div"]

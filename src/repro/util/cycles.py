@@ -1,0 +1,50 @@
+"""Clock-domain arithmetic.
+
+The simulator's global time unit is the **CPU cycle** (3.2 GHz by default,
+matching the paper's Table 1). DRAM timing parameters are specified in
+nanoseconds (paper Table 2) or in bus cycles; this module holds the
+conversions. All conversions round *up* (a constraint of 13.5 ns is safe
+at 44 CPU cycles, unsafe at 43).
+"""
+
+from __future__ import annotations
+
+DEFAULT_CPU_FREQ_GHZ = 3.2
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def ns_to_cycles(ns: float, cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ) -> int:
+    """Convert a duration in nanoseconds to CPU cycles, rounding up.
+
+    A small epsilon guards against float error turning an exact product
+    (e.g. 50 ns * 3.2 = 160.00000000000003) into an extra cycle.
+    """
+    if ns < 0:
+        raise ValueError(f"duration must be non-negative, got {ns}")
+    exact = ns * cpu_freq_ghz
+    rounded = round(exact)
+    if abs(exact - rounded) < 1e-9:
+        return int(rounded)
+    return int(-(-exact // 1))
+
+
+def cycles_to_ns(cycles: int, cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ) -> float:
+    """Convert CPU cycles back to nanoseconds (exact float)."""
+    return cycles / cpu_freq_ghz
+
+
+def bus_cycles_to_cpu_cycles(bus_cycles: int, bus_freq_mhz: float,
+                             cpu_freq_ghz: float = DEFAULT_CPU_FREQ_GHZ) -> int:
+    """Convert DRAM bus cycles to CPU cycles, rounding up."""
+    if bus_cycles < 0:
+        raise ValueError(f"bus_cycles must be non-negative, got {bus_cycles}")
+    ns = bus_cycles * 1000.0 / bus_freq_mhz
+    return ns_to_cycles(ns, cpu_freq_ghz)

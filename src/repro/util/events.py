@@ -1,0 +1,86 @@
+"""A minimal deterministic discrete-event queue.
+
+Events fire in (time, sequence) order so that ties are broken by insertion
+order, which keeps multi-component simulations reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, seq) for determinism."""
+
+    time: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.now = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time}, now is {self.now}")
+        event = Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        return self.schedule(self.now + delay, callback)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event. Returns False if the queue was empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, deadline: int) -> None:
+        """Run events with time <= deadline; advances now to the deadline."""
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > deadline:
+                break
+            self.step()
+        if self.now < deadline:
+            self.now = deadline
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (optionally capped); returns events executed."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count

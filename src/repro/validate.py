@@ -1,0 +1,158 @@
+"""Analytic latency validation (DRAMSim-style sanity checks).
+
+A cycle-level model earns trust by matching hand-computable cases. This
+module derives the *expected* unloaded latencies for each device family
+straight from the timing parameters and compares them against what the
+simulator actually produces for a single isolated request — the same
+methodology DRAM simulators use to validate against datasheets.
+
+Run it directly::
+
+    python -m repro.validate
+
+or programmatically via :func:`validate_all`, which returns a list of
+:class:`ValidationCheck` rows (used by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.channel import Channel
+from repro.dram.controller import ControllerConfig, MemoryController
+from repro.dram.device import (
+    DDR3_DEVICE,
+    DeviceConfig,
+    LPDDR2_DEVICE,
+    PagePolicy,
+    RLDRAM3_DEVICE,
+)
+from repro.dram.request import DecodedAddress, MemoryRequest, RequestKind
+from repro.dram.timing import TimingSet
+from repro.util.events import EventQueue
+
+
+@dataclass
+class ValidationCheck:
+    """One analytic-vs-simulated comparison."""
+
+    name: str
+    expected_cycles: int
+    measured_cycles: int
+
+    @property
+    def ok(self) -> bool:
+        return self.expected_cycles == self.measured_cycles
+
+    def __str__(self) -> str:
+        flag = "OK " if self.ok else "FAIL"
+        return (f"[{flag}] {self.name}: expected {self.expected_cycles}, "
+                f"measured {self.measured_cycles}")
+
+
+def _single_read(device: DeviceConfig, row: int = 0,
+                 warm_row: int = None) -> MemoryRequest:
+    """Run one isolated read (optionally with a row pre-opened)."""
+    events = EventQueue()
+    timing = TimingSet(device.timing)
+    channel = Channel(timing)
+    mc = MemoryController(device=device, timing=timing, channel=channel,
+                          num_ranks=1, events=events,
+                          config=ControllerConfig(refresh_enabled=False))
+    if warm_row is not None:
+        warm = MemoryRequest(kind=RequestKind.READ, address=0,
+                             decoded=DecodedAddress(0, 0, 0, warm_row, 0))
+        mc.enqueue(warm)
+        done = []
+        warm.on_complete = lambda t: done.append(t)
+        while not done:
+            events.step()
+    request = MemoryRequest(kind=RequestKind.READ, address=0,
+                            decoded=DecodedAddress(0, 0, 0, row, 1))
+    start = events.now
+    mc.enqueue(request)
+    done = []
+    request.on_complete = lambda t: done.append(t)
+    while not done:
+        events.step()
+    request.arrival_time = start
+    return request
+
+
+def validate_device(device: DeviceConfig) -> List[ValidationCheck]:
+    """Unloaded-latency checks for one device family.
+
+    The analytic model includes two real controller effects: commands
+    issue on bus-clock boundaries (issue quantization), and a precharge
+    must respect the residual tRAS of the row opened by the warm-up
+    access.
+    """
+    timing = TimingSet(device.timing)
+    checks: List[ValidationCheck] = []
+
+    def align(t: int) -> int:
+        """Next bus-clock edge at or after ``t`` (command issue)."""
+        bus = timing.bus_cycle
+        return ((t + bus - 1) // bus) * bus
+
+    # Row-miss (empty bank) read at t=0: ACT at 0, CAS at align(tRCD).
+    req = _single_read(device, row=5)
+    expected = align(timing.t_rcd) + timing.t_rl + timing.t_burst
+    checks.append(ValidationCheck(
+        name=f"{device.part_number} empty-bank read",
+        expected_cycles=expected,
+        measured_cycles=req.completion_time - req.arrival_time))
+
+    # Row-hit read (open-page devices only): CAS on the next bus edge.
+    if device.page_policy is PagePolicy.OPEN:
+        req = _single_read(device, row=5, warm_row=5)
+        arrival = req.arrival_time
+        expected = (align(arrival) - arrival) + timing.t_rl + timing.t_burst
+        checks.append(ValidationCheck(
+            name=f"{device.part_number} row-hit read",
+            expected_cycles=expected,
+            measured_cycles=req.completion_time - req.arrival_time))
+
+        # Row-conflict read: PRE (waiting out the warm row's tRAS) +
+        # tRP + tRCD + tRL + burst, each command on a bus edge.
+        req = _single_read(device, row=6, warm_row=5)
+        arrival = req.arrival_time
+        warm_act_time = 0  # the warm-up ACT issued at t=0
+        t_pre = align(max(arrival, warm_act_time + timing.t_ras))
+        t_act = align(t_pre + timing.t_rp)
+        t_cas = align(t_act + timing.t_rcd)
+        expected = t_cas + timing.t_rl + timing.t_burst - arrival
+        checks.append(ValidationCheck(
+            name=f"{device.part_number} row-conflict read",
+            expected_cycles=expected,
+            measured_cycles=req.completion_time - req.arrival_time))
+
+    # Critical word rides the first beat of the burst.
+    req = _single_read(device, row=7)
+    beat = max(1, timing.t_burst // 8)
+    checks.append(ValidationCheck(
+        name=f"{device.part_number} critical-word beat",
+        expected_cycles=beat,
+        measured_cycles=req.critical_word_time - req.data_start_time))
+    return checks
+
+
+def validate_all() -> List[ValidationCheck]:
+    checks: List[ValidationCheck] = []
+    for device in (DDR3_DEVICE, LPDDR2_DEVICE, RLDRAM3_DEVICE):
+        checks.extend(validate_device(device))
+    return checks
+
+
+def main() -> int:
+    checks = validate_all()
+    for check in checks:
+        print(check)
+    failures = [c for c in checks if not c.ok]
+    print(f"\n{len(checks) - len(failures)}/{len(checks)} checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

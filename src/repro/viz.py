@@ -1,0 +1,98 @@
+"""Terminal visualisation for experiment tables.
+
+Pure-text rendering (no plotting dependencies): horizontal bar charts
+for the figure-style tables and a scatter grid for Figure 11. Used by
+the examples and handy in a REPL::
+
+    from repro.viz import bar_chart
+    from repro.experiments.cwf_eval import figure_6
+    print(bar_chart(figure_6(), value="rl", label="benchmark",
+                    reference=1.0))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentTable
+
+
+def render_bars(items: Sequence[Tuple[str, float]], width: int = 50,
+                reference: Optional[float] = None,
+                fmt: str = "{:.3f}") -> str:
+    """Horizontal bars; an optional reference value draws a marker."""
+    if not items:
+        return "(no data)"
+    peak = max(abs(v) for _, v in items)
+    if reference is not None:
+        peak = max(peak, abs(reference))
+    if peak == 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        n = round(abs(value) / peak * width)
+        bar = "#" * n
+        if reference is not None:
+            ref_pos = round(abs(reference) / peak * width)
+            bar = bar.ljust(max(ref_pos + 1, n))
+            if 0 <= ref_pos < len(bar):
+                marker = "|" if ref_pos >= n else "+"
+                bar = bar[:ref_pos] + marker + bar[ref_pos + 1:]
+        lines.append(f"{label.rjust(label_width)} {fmt.format(value):>8} "
+                     f"{bar.rstrip()}")
+    return "\n".join(lines)
+
+
+def bar_chart(table: ExperimentTable, value: str, label: str = "benchmark",
+              width: int = 50, reference: Optional[float] = None,
+              skip: Sequence[str] = ("MEAN",)) -> str:
+    """Bar chart of one column of an experiment table."""
+    items = [(str(row[label]), float(row[value]))
+             for row in table.rows
+             if row.get(label) not in skip
+             and isinstance(row.get(value), (int, float))]
+    header = f"{table.experiment_id}: {table.title} [{value}]"
+    return header + "\n" + render_bars(items, width=width,
+                                       reference=reference)
+
+
+def scatter(points: Sequence[Tuple[float, float]],
+            labels: Optional[Sequence[str]] = None,
+            width: int = 60, height: int = 18,
+            x_label: str = "x", y_label: str = "y") -> str:
+    """Character-grid scatter plot (used for Figure 11)."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(points):
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        mark = "*"
+        if labels is not None and labels[i]:
+            mark = labels[i][0]
+        grid[row][col] = mark
+    lines = [f"{y_label} [{y_min:.3f} .. {y_max:.3f}]"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_min:.3f} .. {x_max:.3f}]")
+    return "\n".join(lines)
+
+
+def table_scatter(table: ExperimentTable, x: str, y: str,
+                  label: str = "benchmark", **kwargs) -> str:
+    rows = [r for r in table.rows
+            if isinstance(r.get(x), (int, float))
+            and isinstance(r.get(y), (int, float))
+            and r.get(label) != "MEAN"]
+    points = [(float(r[x]), float(r[y])) for r in rows]
+    labels = [str(r.get(label, "")) for r in rows]
+    header = f"{table.experiment_id}: {table.title}"
+    return header + "\n" + scatter(points, labels, x_label=x, y_label=y,
+                                   **kwargs)

@@ -1,0 +1,231 @@
+"""Per-benchmark behavioural profiles.
+
+Each profile encodes the trace statistics that drive the paper's results:
+
+* ``mean_gap`` — mean non-memory instructions between memory
+  instructions: memory intensity.
+* ``stream_fraction`` — fraction of accesses from sequential/strided
+  streams; the remainder is pointer-chasing.
+* ``num_streams`` / ``stream_stride_words`` — concurrent stream count
+  and stride. A stride of >= 8 words touches each line once (no early
+  second access); a stride of 1 walks every word of a line, so the
+  second access to a line comes quickly — the dealII/tonto behaviour the
+  paper calls out (Sec 6.1.1).
+* ``chase_word_weights`` — distribution of each *line's* preferred
+  critical word for pointer-chase accesses. Lines keep a stable
+  preferred word (paper Fig 3: per-line criticality is strongly biased),
+  sampled from this distribution by a deterministic per-line hash.
+* ``chase_line_bias`` — probability a chase access uses the line's
+  preferred word (vs. a uniformly random word).
+* ``chase_second_touch`` — probability the chase dereferences a second
+  field of the same line shortly after the first.
+* ``hot_fraction`` / ``hot_lines`` — fraction of accesses going to a
+  small cache-resident region (lowers DRAM pressure for the low-
+  bandwidth codes).
+* ``write_fraction`` — store fraction; dirty lines are what the adaptive
+  CWF scheme can re-organise (Sec 4.2.5).
+* ``footprint_lines`` — per-core working set in cache lines.
+
+Calibration targets, from the paper:
+
+* Fig 4: word-0 is critical in > 50 % of fetches for 21 of 27 programs
+  (suite average 67 %); lbm/mcf/milc/omnetpp/xalancbmk/sjeng show little
+  bias; mcf's mass sits on words 0 and 3.
+* Appendix: hmmer is dominated by stride-0 (word 0); STREAM's four
+  kernels are unit-stride (word 0); mcf/xalancbmk are pointer chasers.
+* Sec 6.1: high-bandwidth programs are cg/lu/mg/sp/STREAM, lbm,
+  leslie3d, libquantum, mcf, milc, GemsFDTD; bzip2/dealII/gobmk have low
+  bandwidth demands; tonto/dealII re-touch lines before the full line
+  returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+SUITE_SPEC = "spec2006"
+SUITE_NPB = "npb"
+SUITE_STREAM = "stream"
+
+# Shorthand critical-word weight tables.
+_W0 = {0: 1.0}
+_UNIFORM = {w: 1.0 for w in range(8)}
+_EARLY = {0: 4.0, 1: 2.0, 2: 1.0, 3: 0.5, 4: 0.25, 5: 0.25, 6: 0.25, 7: 0.25}
+_MCF = {0: 3.0, 3: 2.5, 1: 0.8, 2: 0.8, 4: 0.6, 5: 0.5, 6: 0.4, 7: 0.4}
+_VERY_EARLY = {0: 8.0, 1: 1.5, 2: 0.6, 3: 0.4, 4: 0.3, 5: 0.3, 6: 0.3, 7: 0.3}
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Trace statistics for one benchmark (see module docstring)."""
+
+    name: str
+    suite: str
+    mean_gap: float
+    stream_fraction: float
+    num_streams: int = 4
+    stream_stride_words: int = 8
+    # Mean lines a stream runs before jumping elsewhere (array edges,
+    # loop boundaries). Bounds prefetch coverage and row-buffer runs.
+    stream_run_lines: int = 24
+    chase_word_weights: Dict[int, float] = field(default_factory=lambda: dict(_UNIFORM))
+    chase_line_bias: float = 0.85
+    chase_second_touch: float = 0.15
+    hot_fraction: float = 0.0
+    hot_lines: int = 4096            # 256 KB
+    # Fraction of chase accesses that land in the most-popular ~7.6% of
+    # pages (page-level skew; paper Sec 7.1: the hottest 7.6% of pages
+    # capture at most ~30% of accesses).
+    chase_popularity: float = 0.3
+    write_fraction: float = 0.12
+    footprint_lines: int = 1 << 19   # 32 MB per core
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stream_fraction <= 1.0:
+            raise ValueError(f"{self.name}: stream_fraction out of range")
+        if self.mean_gap < 0:
+            raise ValueError(f"{self.name}: mean_gap must be >= 0")
+        if self.stream_stride_words <= 0:
+            raise ValueError(f"{self.name}: stride must be positive")
+        if not self.chase_word_weights:
+            raise ValueError(f"{self.name}: empty chase_word_weights")
+
+    @property
+    def chase_fraction(self) -> float:
+        return 1.0 - self.stream_fraction
+
+    def estimated_misses_per_record(self) -> float:
+        """Rough DRAM demand-fetches per trace record, for trace sizing."""
+        stream_miss = min(1.0, self.stream_stride_words / 8.0)
+        chase_miss = 1.0 + self.chase_second_touch * 0.1
+        est = (self.stream_fraction * stream_miss
+               + self.chase_fraction * chase_miss)
+        est *= (1.0 - self.hot_fraction * 0.95)
+        return max(0.02, est)
+
+
+def _p(**kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The suite (18 SPEC + 6 NPB + STREAM + GemsFDTD = 26 programs).
+# ---------------------------------------------------------------------------
+
+PROFILES: Dict[str, BenchmarkProfile] = {p.name: p for p in [
+    # --- NAS Parallel Benchmarks (streaming-dominated, high bandwidth) ---
+    _p(name="cg", suite=SUITE_NPB, mean_gap=330.0, stream_fraction=0.80,
+       num_streams=6, stream_stride_words=8, chase_word_weights=_EARLY,
+       write_fraction=0.10),
+    _p(name="is", suite=SUITE_NPB, mean_gap=450.0, stream_fraction=0.45,
+       num_streams=4, stream_stride_words=8, chase_word_weights=_EARLY,
+       chase_line_bias=0.7, write_fraction=0.30),
+    _p(name="ep", suite=SUITE_NPB, mean_gap=1300.0, stream_fraction=0.60,
+       num_streams=2, stream_stride_words=8, chase_word_weights=_EARLY,
+       hot_fraction=0.75,
+       write_fraction=0.10, footprint_lines=1 << 17),
+    _p(name="lu", suite=SUITE_NPB, mean_gap=330.0, stream_fraction=0.88,
+       num_streams=6, stream_stride_words=8, write_fraction=0.15),
+    _p(name="mg", suite=SUITE_NPB, mean_gap=270.0, stream_fraction=0.92,
+       num_streams=8, stream_stride_words=8, write_fraction=0.18),
+    _p(name="sp", suite=SUITE_NPB, mean_gap=270.0, stream_fraction=0.88,
+       num_streams=8, stream_stride_words=8, write_fraction=0.18),
+    # --- STREAM: four unit-stride kernels over huge arrays ---
+    _p(name="stream", suite=SUITE_STREAM, mean_gap=230.0, stream_fraction=0.97,
+       num_streams=6, stream_stride_words=8, write_fraction=0.32,
+       footprint_lines=1 << 20),
+    # --- SPEC CPU2006 ---
+    _p(name="astar", suite=SUITE_SPEC, mean_gap=550.0, stream_fraction=0.45,
+       chase_word_weights=_EARLY, chase_line_bias=0.8,
+       hot_fraction=0.35, write_fraction=0.12),
+    _p(name="bzip2", suite=SUITE_SPEC, mean_gap=900.0, stream_fraction=0.40,
+       num_streams=2, stream_stride_words=1,
+       chase_word_weights=_EARLY, hot_fraction=0.55,
+       write_fraction=0.20, footprint_lines=1 << 17),
+    _p(name="dealII", suite=SUITE_SPEC, mean_gap=600.0, stream_fraction=0.75,
+       num_streams=1, stream_stride_words=1, chase_word_weights=_VERY_EARLY,
+       hot_fraction=0.45, write_fraction=0.15, footprint_lines=1 << 17),
+    _p(name="gromacs", suite=SUITE_SPEC, mean_gap=1100.0, stream_fraction=0.65,
+       num_streams=3, stream_stride_words=8, chase_word_weights=_EARLY,
+       hot_fraction=0.55, write_fraction=0.15, footprint_lines=1 << 17),
+    _p(name="gobmk", suite=SUITE_SPEC, mean_gap=1200.0, stream_fraction=0.40,
+       chase_word_weights=_VERY_EARLY, chase_line_bias=0.7, hot_fraction=0.60,
+       write_fraction=0.15, footprint_lines=1 << 16),
+    _p(name="hmmer", suite=SUITE_SPEC, mean_gap=500.0, stream_fraction=0.90,
+       num_streams=4, stream_stride_words=8,
+       chase_word_weights=_VERY_EARLY, hot_fraction=0.40,
+       write_fraction=0.18, footprint_lines=1 << 17),
+    _p(name="h264ref", suite=SUITE_SPEC, mean_gap=600.0, stream_fraction=0.70,
+       num_streams=4, stream_stride_words=4, chase_word_weights=_VERY_EARLY,
+       hot_fraction=0.45, write_fraction=0.18, footprint_lines=1 << 17),
+    _p(name="lbm", suite=SUITE_SPEC, mean_gap=300.0, stream_fraction=0.22,
+       num_streams=6, stream_stride_words=8,
+       chase_word_weights={0: 1.2, 1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0,
+                           5: 1.0, 6: 0.9, 7: 0.9},
+       chase_line_bias=0.9, chase_second_touch=0.05,
+       write_fraction=0.30, footprint_lines=1 << 20),
+    _p(name="leslie3d", suite=SUITE_SPEC, mean_gap=260.0, stream_fraction=0.94,
+       num_streams=8, stream_stride_words=8, write_fraction=0.15,
+       footprint_lines=1 << 20),
+    _p(name="libquantum", suite=SUITE_SPEC, mean_gap=380.0, stream_fraction=0.97,
+       num_streams=2, stream_stride_words=8, stream_run_lines=10, write_fraction=0.25,
+       footprint_lines=1 << 20),
+    _p(name="mcf", suite=SUITE_SPEC, mean_gap=280.0, stream_fraction=0.08,
+       chase_word_weights=_MCF, chase_line_bias=0.88,
+       chase_second_touch=0.08, write_fraction=0.16,
+       footprint_lines=1 << 20),
+    _p(name="milc", suite=SUITE_SPEC, mean_gap=320.0, stream_fraction=0.20,
+       num_streams=4, stream_stride_words=8,
+       chase_word_weights={w: 1.0 for w in range(8)}, chase_line_bias=0.85,
+       chase_second_touch=0.05, write_fraction=0.22,
+       footprint_lines=1 << 20),
+    _p(name="omnetpp", suite=SUITE_SPEC, mean_gap=400.0, stream_fraction=0.15,
+       chase_word_weights={0: 1.3, 1: 1.1, 2: 1.0, 3: 1.0, 4: 0.9,
+                           5: 0.9, 6: 0.9, 7: 0.9},
+       chase_line_bias=0.85, chase_second_touch=0.08,
+       write_fraction=0.20),
+    _p(name="soplex", suite=SUITE_SPEC, mean_gap=450.0, stream_fraction=0.65,
+       num_streams=4, stream_stride_words=8, chase_word_weights=_EARLY,
+       write_fraction=0.12),
+    _p(name="sjeng", suite=SUITE_SPEC, mean_gap=1000.0, stream_fraction=0.25,
+       chase_word_weights={0: 4.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 0.9,
+                           5: 0.9, 6: 0.8, 7: 0.8}, chase_line_bias=0.75,
+       hot_fraction=0.50, write_fraction=0.15, footprint_lines=1 << 17),
+    _p(name="tonto", suite=SUITE_SPEC, mean_gap=650.0, stream_fraction=0.80,
+       num_streams=1, stream_stride_words=1, chase_word_weights=_VERY_EARLY,
+       hot_fraction=0.40, write_fraction=0.15, footprint_lines=1 << 17),
+    _p(name="xalancbmk", suite=SUITE_SPEC, mean_gap=400.0, stream_fraction=0.18,
+       chase_word_weights={0: 1.4, 1: 1.2, 2: 1.0, 3: 1.0, 4: 0.9,
+                           5: 0.8, 6: 0.8, 7: 0.8},
+       chase_line_bias=0.80, chase_second_touch=0.08,
+       write_fraction=0.15),
+    _p(name="zeusmp", suite=SUITE_SPEC, mean_gap=380.0, stream_fraction=0.80,
+       num_streams=6, stream_stride_words=8, chase_word_weights=_EARLY,
+       write_fraction=0.18),
+    _p(name="GemsFDTD", suite=SUITE_SPEC, mean_gap=260.0, stream_fraction=0.93,
+       num_streams=8, stream_stride_words=8, write_fraction=0.20,
+       footprint_lines=1 << 20),
+]}
+
+
+def benchmark_names(suite: str = None) -> List[str]:
+    """All benchmark names, optionally filtered by suite."""
+    return [name for name, p in PROFILES.items()
+            if suite is None or p.suite == suite]
+
+
+def profile_for(name: str) -> BenchmarkProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(PROFILES)}") from None
+
+
+# Benchmarks the paper's Figure 3 singles out for per-line histograms.
+FIG3_BENCHMARKS = ("leslie3d", "mcf")
+
+# High-bandwidth group called out in Sec 6.1.3.
+HIGH_BANDWIDTH = ("cg", "lu", "mg", "sp", "stream", "lbm", "leslie3d",
+                  "libquantum", "mcf", "milc", "GemsFDTD")

@@ -1,0 +1,222 @@
+"""Synthetic trace generator driven by a :class:`BenchmarkProfile`.
+
+Traces are deterministic given (profile, core, seed): all randomness
+comes from a seeded ``random.Random`` and per-line preferred words come
+from a multiplicative hash, so every memory configuration replays the
+identical instruction stream — the paper's methodology (same workload,
+different memory system).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.cpu.core import TraceRecord
+from repro.dram.request import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+from repro.workloads.profiles import BenchmarkProfile
+
+# Each core gets a disjoint 64 GB slice of the physical address space.
+CORE_ADDRESS_STRIDE = 1 << 36
+_HASH_MULT = 0x9E3779B97F4A7C15
+_HASH_MASK = (1 << 64) - 1
+_BUCKETS = 1024
+
+
+def _word_lookup_table(weights: dict) -> List[int]:
+    """Map hash buckets to words proportionally to ``weights``."""
+    total = float(sum(weights.values()))
+    table: List[int] = []
+    acc = 0.0
+    items = sorted(weights.items())
+    for word, weight in items:
+        acc += weight / total
+        target = int(round(acc * _BUCKETS))
+        while len(table) < target:
+            table.append(word)
+    while len(table) < _BUCKETS:
+        table.append(items[-1][0])
+    return table[:_BUCKETS]
+
+
+def preferred_word(line: int, table: List[int]) -> int:
+    """Deterministic per-line preferred critical word."""
+    h = (line * _HASH_MULT) & _HASH_MASK
+    return table[(h >> 32) % _BUCKETS]
+
+
+@dataclass
+class _Stream:
+    cursor_word: int   # word index within the core's footprint
+    stride: int
+    run_left: int = 0  # accesses before the stream jumps elsewhere
+
+
+class TraceGenerator:
+    """Generates the instruction trace for one core of one benchmark."""
+
+    def __init__(self, profile: BenchmarkProfile, core_id: int,
+                 seed: int = 42) -> None:
+        self.profile = profile
+        self.core_id = core_id
+        # zlib.crc32 is stable across processes (unlike hash(), which is
+        # randomised per interpreter) — required for reproducible traces
+        # and for the on-disk result cache to be meaningful.
+        key = f"{profile.name}/{core_id}/{seed}".encode()
+        self.rng = random.Random(zlib.crc32(key) or 1)
+        self.base = core_id * CORE_ADDRESS_STRIDE
+        self.word_table = _word_lookup_table(profile.chase_word_weights)
+        self.footprint_words = profile.footprint_lines * WORDS_PER_LINE
+        self.streams: List[_Stream] = [
+            _Stream(cursor_word=self._random_line_start(),
+                    stride=profile.stream_stride_words,
+                    run_left=self._run_length())
+            for _ in range(max(1, profile.num_streams))
+        ]
+        self._next_stream = 0
+        # Scheduled "second touch" accesses: (records_remaining, address).
+        self._queued: Deque[Tuple[int, int]] = deque()
+
+    # ------------------------------------------------------------------
+
+    def _random_line_start(self) -> int:
+        line = self.rng.randrange(self.profile.footprint_lines)
+        return line * WORDS_PER_LINE
+
+    def _gap(self) -> int:
+        mean = self.profile.mean_gap
+        if mean <= 0:
+            return 0
+        cap = max(1000, int(6 * mean))
+        return min(cap, int(self.rng.expovariate(1.0 / mean)))
+
+    def _address(self, line: int, word: int) -> int:
+        return self.base + line * LINE_BYTES + word * WORD_BYTES
+
+    # ------------------------------------------------------------------
+
+    def _run_length(self) -> int:
+        """Accesses before a stream jumps (>= 4 so prefetchers can train)."""
+        mean = self.profile.stream_run_lines
+        return max(4, int(self.rng.expovariate(1.0 / mean)))
+
+    def _stream_access(self) -> int:
+        stream = self.streams[self._next_stream]
+        self._next_stream = (self._next_stream + 1) % len(self.streams)
+        word_index = stream.cursor_word
+        stream.cursor_word += stream.stride
+        stream.run_left -= 1
+        if stream.run_left <= 0 or stream.cursor_word >= self.footprint_words:
+            stream.cursor_word = self._random_line_start()
+            stream.run_left = self._run_length()
+        line, word = divmod(word_index, WORDS_PER_LINE)
+        return self._address(line, word)
+
+    def _chase_access(self) -> int:
+        p = self.profile
+        if self.rng.random() < p.chase_popularity:
+            # Page-popularity skew: a small region absorbs a dispro-
+            # portionate share of accesses (Sec 7.1's profiling target).
+            popular = max(1, int(p.footprint_lines * 0.076))
+            line = self.rng.randrange(popular)
+        else:
+            line = self.rng.randrange(p.footprint_lines)
+        if self.rng.random() < p.chase_line_bias:
+            word = preferred_word(line, self.word_table)
+        else:
+            word = self.rng.randrange(WORDS_PER_LINE)
+        if self.rng.random() < p.chase_second_touch:
+            other = (word + 1 + self.rng.randrange(WORDS_PER_LINE - 1)) \
+                % WORDS_PER_LINE
+            delay = 2 + self.rng.randrange(4)
+            self._queued.append((delay, self._address(line, other)))
+        return self._address(line, word)
+
+    def _hot_access(self) -> int:
+        """Hot-region access; lines keep stable preferred words like the
+        chase (criticality regularity holds for hot data too, Fig 3)."""
+        p = self.profile
+        line = self.rng.randrange(min(p.hot_lines, p.footprint_lines))
+        if self.rng.random() < p.chase_line_bias:
+            word = preferred_word(line, self.word_table)
+        else:
+            word = self.rng.randrange(WORDS_PER_LINE)
+        return self._address(line, word)
+
+    # ------------------------------------------------------------------
+
+    def record(self) -> TraceRecord:
+        """Produce the next trace record."""
+        p = self.profile
+        rng = self.rng
+        address: Optional[int] = None
+        # Drain scheduled second touches first when due.
+        if self._queued:
+            remaining, addr = self._queued[0]
+            if remaining <= 0:
+                self._queued.popleft()
+                address = addr
+            else:
+                self._queued[0] = (remaining - 1, addr)
+        if address is None:
+            if p.hot_fraction and rng.random() < p.hot_fraction:
+                address = self._hot_access()
+            elif rng.random() < p.stream_fraction:
+                address = self._stream_access()
+            else:
+                address = self._chase_access()
+        is_write = rng.random() < p.write_fraction
+        return TraceRecord(gap=self._gap(), is_write=is_write,
+                           address=address)
+
+    def records(self, count: int) -> List[TraceRecord]:
+        return [self.record() for _ in range(count)]
+
+
+def preferred_word_for_global_line(profile: BenchmarkProfile,
+                                   global_line: int) -> int:
+    """Preferred critical word of a global line address.
+
+    The generator draws per-line preferred words from the profile's
+    chase distribution using the *core-local* line index; this recovers
+    the same word from a global line number (as seen by the memory
+    system), for L2 prewarming and adaptive-tag seeding.
+    """
+    lines_per_core = CORE_ADDRESS_STRIDE // LINE_BYTES
+    local_line = global_line % lines_per_core
+    table = _table_cache.get(profile.name)
+    if table is None:
+        table = _word_lookup_table(profile.chase_word_weights)
+        _table_cache[profile.name] = table
+    return preferred_word(local_line, table)
+
+
+_table_cache: dict = {}
+
+
+def expected_critical_word(profile: BenchmarkProfile, global_line: int,
+                           rng: random.Random) -> int:
+    """Sample the critical word a fetch of this line would observe."""
+    if rng.random() < profile.stream_fraction:
+        return 0
+    if rng.random() < profile.chase_line_bias:
+        return preferred_word_for_global_line(profile, global_line)
+    return rng.randrange(WORDS_PER_LINE)
+
+
+def records_for_reads(profile: BenchmarkProfile, target_dram_reads: int) -> int:
+    """Trace length that should yield about ``target_dram_reads`` demand
+    fetches on a cold cache."""
+    est = profile.estimated_misses_per_record()
+    return max(64, int(target_dram_reads / est))
+
+
+def generate_core_trace(profile: BenchmarkProfile, core_id: int,
+                        target_dram_reads: int,
+                        seed: int = 42) -> List[TraceRecord]:
+    """Deterministic trace sized for roughly ``target_dram_reads``."""
+    generator = TraceGenerator(profile, core_id, seed)
+    return generator.records(records_for_reads(profile, target_dram_reads))

@@ -1,0 +1,102 @@
+"""Trace file I/O.
+
+Traces are lists of :class:`~repro.cpu.core.TraceRecord`; this module
+persists them in a compact line-oriented text format so users can
+capture, inspect, edit, and replay workloads independently of the
+generators:
+
+    # repro-trace v1
+    # benchmark=mcf core=0
+    <gap> <R|W> <hex address>
+
+Blank lines and ``#`` comments are ignored. The format is intentionally
+diff-friendly and greppable.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, TextIO, Tuple, Union
+
+from repro.cpu.core import TraceRecord
+
+MAGIC = "# repro-trace v1"
+
+
+def save_trace(trace: Iterable[TraceRecord],
+               destination: Union[str, Path, TextIO],
+               metadata: Dict[str, str] = None) -> None:
+    """Write one core's trace."""
+    own = isinstance(destination, (str, Path))
+    handle = open(destination, "w") if own else destination
+    try:
+        handle.write(MAGIC + "\n")
+        for key, value in (metadata or {}).items():
+            handle.write(f"# {key}={value}\n")
+        for record in trace:
+            kind = "W" if record.is_write else "R"
+            handle.write(f"{record.gap} {kind} {record.address:#x}\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def load_trace(source: Union[str, Path, TextIO]
+               ) -> Tuple[List[TraceRecord], Dict[str, str]]:
+    """Read a trace; returns (records, metadata)."""
+    own = isinstance(source, (str, Path))
+    handle = open(source) if own else source
+    try:
+        first = handle.readline().rstrip("\n")
+        if first != MAGIC:
+            raise ValueError(f"not a repro trace (header {first!r})")
+        records: List[TraceRecord] = []
+        metadata: Dict[str, str] = {}
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if "=" in body:
+                    key, _, value = body.partition("=")
+                    metadata[key.strip()] = value.strip()
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[1] not in ("R", "W"):
+                raise ValueError(f"line {lineno}: malformed record {line!r}")
+            records.append(TraceRecord(gap=int(parts[0]),
+                                       is_write=parts[1] == "W",
+                                       address=int(parts[2], 16)))
+        return records, metadata
+    finally:
+        if own:
+            handle.close()
+
+
+def trace_to_string(trace: Iterable[TraceRecord],
+                    metadata: Dict[str, str] = None) -> str:
+    buffer = io.StringIO()
+    save_trace(trace, buffer, metadata)
+    return buffer.getvalue()
+
+
+def trace_from_string(text: str) -> Tuple[List[TraceRecord], Dict[str, str]]:
+    return load_trace(io.StringIO(text))
+
+
+def trace_stats(trace: Iterable[TraceRecord]) -> Dict[str, float]:
+    """Quick summary for inspection tools."""
+    records = list(trace)
+    if not records:
+        return {"records": 0, "instructions": 0, "write_fraction": 0.0,
+                "distinct_lines": 0, "mean_gap": 0.0}
+    lines = {r.address // 64 for r in records}
+    return {
+        "records": len(records),
+        "instructions": sum(r.gap + 1 for r in records),
+        "write_fraction": sum(r.is_write for r in records) / len(records),
+        "distinct_lines": len(lines),
+        "mean_gap": sum(r.gap for r in records) / len(records),
+    }

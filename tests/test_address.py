@@ -1,0 +1,112 @@
+"""Address mapping: decode/encode round trips and interleaving shape."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.device import DDR3_DEVICE, RLDRAM3_DEVICE
+from repro.dram.request import LINE_BYTES
+
+
+def open_mapper(channels=4):
+    return AddressMapper(device=DDR3_DEVICE, num_channels=channels,
+                         ranks_per_channel=1, devices_per_rank=8,
+                         scheme=MappingScheme.OPEN_PAGE)
+
+
+def close_mapper(channels=4):
+    return AddressMapper(device=RLDRAM3_DEVICE, num_channels=channels,
+                         ranks_per_channel=1, devices_per_rank=8,
+                         scheme=MappingScheme.CLOSE_PAGE)
+
+
+class TestOpenPage:
+    def test_consecutive_lines_share_row(self):
+        m = open_mapper()
+        a = m.decode(0)
+        b = m.decode(LINE_BYTES)
+        assert (a.channel, a.rank, a.bank, a.row) == \
+               (b.channel, b.rank, b.bank, b.row)
+        assert b.column == a.column + 1
+
+    def test_row_crossing_changes_channel(self):
+        m = open_mapper()
+        a = m.decode(0)
+        b = m.decode(m.lines_per_row * LINE_BYTES)
+        assert b.channel == (a.channel + 1) % 4
+
+    def test_lines_per_row(self):
+        m = open_mapper()
+        # 8 chips x 1 KB row = 8 KB row = 128 lines.
+        assert m.row_bytes == 8192
+        assert m.lines_per_row == 128
+
+    def test_fields_in_range(self):
+        m = open_mapper()
+        for line in range(0, 100_000, 97):
+            d = m.decode(line * LINE_BYTES)
+            assert 0 <= d.channel < 4
+            assert 0 <= d.bank < DDR3_DEVICE.num_banks
+            assert 0 <= d.row < DDR3_DEVICE.num_rows
+            assert 0 <= d.column < m.lines_per_row
+
+
+class TestClosePage:
+    def test_consecutive_lines_round_robin_channels(self):
+        m = close_mapper()
+        channels = [m.decode(i * LINE_BYTES).channel for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_banks_interleave_after_channels(self):
+        m = close_mapper()
+        a = m.decode(0)
+        b = m.decode(4 * LINE_BYTES)  # same channel, next bank
+        assert b.channel == a.channel
+        assert b.bank == a.bank + 1
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(st.integers(min_value=0, max_value=(1 << 33) - 1),
+           st.sampled_from([MappingScheme.OPEN_PAGE,
+                            MappingScheme.CLOSE_PAGE]))
+    def test_encode_decode_roundtrip(self, line, scheme):
+        m = AddressMapper(device=DDR3_DEVICE, num_channels=4,
+                          ranks_per_channel=2, devices_per_rank=8,
+                          scheme=scheme)
+        address = line * LINE_BYTES
+        if address >= m.capacity_bytes:
+            address %= m.capacity_bytes
+        decoded = m.decode(address)
+        assert m.encode(decoded) == address - (address % LINE_BYTES)
+
+    def test_distinct_lines_distinct_locations(self):
+        m = open_mapper()
+        seen = set()
+        for line in range(4096):
+            d = m.decode(line * LINE_BYTES)
+            key = (d.channel, d.rank, d.bank, d.row, d.column)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestValidation:
+    def test_non_power_of_two_channels_allowed(self):
+        # Needed for the 3-channel LPDDR2 side of the Sec 7.1 system.
+        m = AddressMapper(device=DDR3_DEVICE, num_channels=3,
+                          ranks_per_channel=1, devices_per_rank=8,
+                          scheme=MappingScheme.OPEN_PAGE)
+        channels = {m.decode(i * m.lines_per_row * LINE_BYTES).channel
+                    for i in range(9)}
+        assert channels == {0, 1, 2}
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            AddressMapper(device=DDR3_DEVICE, num_channels=0,
+                          ranks_per_channel=1, devices_per_rank=8,
+                          scheme=MappingScheme.OPEN_PAGE)
+
+    def test_capacity(self):
+        m = open_mapper()
+        # 4 channels x 1 rank x 8 chips x 256 MB = 8 GB.
+        assert m.capacity_bytes == 8 * (1 << 30)

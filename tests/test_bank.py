@@ -1,0 +1,148 @@
+"""Bank state-machine legality and timing windows."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.timing import DDR3_TIMING, RLDRAM3_TIMING, TimingSet
+
+DDR3 = TimingSet(DDR3_TIMING)
+RLD = TimingSet(RLDRAM3_TIMING)
+
+
+@pytest.fixture
+def bank():
+    return Bank(timing=DDR3, index=0)
+
+
+@pytest.fixture
+def rld_bank():
+    return Bank(timing=RLD, index=0)
+
+
+class TestActivate:
+    def test_initially_idle_and_activatable(self, bank):
+        assert bank.state is BankState.IDLE
+        assert bank.can_activate(0)
+
+    def test_activate_opens_row(self, bank):
+        bank.activate(0, row=7)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 7
+        assert bank.is_row_hit(7)
+        assert not bank.is_row_hit(8)
+
+    def test_cannot_activate_active_bank(self, bank):
+        bank.activate(0, row=7)
+        assert not bank.can_activate(DDR3.t_rc + 10)
+
+    def test_act_to_act_respects_trc(self, bank):
+        bank.activate(0, row=7)
+        bank.precharge(DDR3.t_ras)  # earliest legal precharge
+        # Even though precharged, ACT must wait for tRC from the first ACT
+        # and tRP from the precharge.
+        earliest = max(DDR3.t_rc, DDR3.t_ras + DDR3.t_rp)
+        assert not bank.can_activate(earliest - 1)
+        assert bank.can_activate(earliest)
+
+    def test_illegal_activate_raises(self, bank):
+        bank.activate(0, row=1)
+        with pytest.raises(RuntimeError):
+            bank.activate(1, row=2)
+
+
+class TestColumnCommands:
+    def test_read_waits_for_trcd(self, bank):
+        bank.activate(0, row=3)
+        assert not bank.can_read(DDR3.t_rcd - 1, 3)
+        assert bank.can_read(DDR3.t_rcd, 3)
+
+    def test_read_returns_data_time(self, bank):
+        bank.activate(0, row=3)
+        data = bank.column_read(DDR3.t_rcd)
+        assert data == DDR3.t_rcd + DDR3.t_rl
+
+    def test_back_to_back_reads_respect_tccd(self, bank):
+        bank.activate(0, row=3)
+        t0 = DDR3.t_rcd
+        bank.column_read(t0)
+        assert not bank.can_read(t0 + DDR3.t_ccd - 1, 3)
+        assert bank.can_read(t0 + DDR3.t_ccd, 3)
+
+    def test_write_returns_wl_time(self, bank):
+        bank.activate(0, row=3)
+        data = bank.column_write(DDR3.t_rcd)
+        assert data == DDR3.t_rcd + DDR3.t_wl
+
+    def test_read_requires_open_row(self, bank):
+        with pytest.raises(RuntimeError):
+            bank.column_read(100)
+
+    def test_read_wrong_row_is_not_hit(self, bank):
+        bank.activate(0, row=3)
+        assert not bank.can_read(DDR3.t_rcd, 4)
+
+
+class TestPrecharge:
+    def test_precharge_waits_for_tras(self, bank):
+        bank.activate(0, row=3)
+        assert not bank.can_precharge(DDR3.t_ras - 1)
+        assert bank.can_precharge(DDR3.t_ras)
+
+    def test_precharge_closes_row(self, bank):
+        bank.activate(0, row=3)
+        bank.precharge(DDR3.t_ras)
+        assert bank.state is BankState.IDLE
+        assert bank.open_row is None
+
+    def test_write_recovery_delays_precharge(self, bank):
+        bank.activate(0, row=3)
+        t_write = DDR3.t_rcd
+        bank.column_write(t_write)
+        recovery = DDR3.t_wl + DDR3.t_burst + DDR3.t_wtr
+        blocked_until = max(DDR3.t_ras, t_write + recovery)
+        assert not bank.can_precharge(blocked_until - 1)
+        assert bank.can_precharge(blocked_until)
+
+    def test_illegal_precharge_raises(self, bank):
+        with pytest.raises(RuntimeError):
+            bank.precharge(0)
+
+
+class TestRLDRAMAccess:
+    def test_access_occupies_bank_for_trc(self, rld_bank):
+        data = rld_bank.access(0, is_write=False)
+        assert data == RLD.t_rl
+        assert not rld_bank.can_access(RLD.t_rc - 1)
+        assert rld_bank.can_access(RLD.t_rc)
+
+    def test_write_access_uses_wl(self, rld_bank):
+        assert rld_bank.access(0, is_write=True) == RLD.t_wl
+
+    def test_illegal_access_raises(self, rld_bank):
+        rld_bank.access(0, is_write=False)
+        with pytest.raises(RuntimeError):
+            rld_bank.access(1, is_write=False)
+
+    def test_counts(self, rld_bank):
+        rld_bank.access(0, is_write=False)
+        rld_bank.access(RLD.t_rc, is_write=True)
+        assert rld_bank.read_count == 1
+        assert rld_bank.write_count == 1
+        assert rld_bank.activate_count == 2
+
+
+class TestRefresh:
+    def test_refresh_blocks_bank(self, bank):
+        bank.refresh_block(0, until=500)
+        assert not bank.can_activate(499)
+        assert bank.can_activate(500)
+
+    def test_refresh_force_closes_row(self, bank):
+        bank.activate(0, row=3)
+        bank.refresh_block(200, until=700)
+        assert bank.state is BankState.IDLE
+
+    def test_last_use_tracks_commands(self, bank):
+        bank.activate(0, row=1)
+        bank.column_read(DDR3.t_rcd)
+        assert bank.last_use == DDR3.t_rcd

@@ -1,0 +1,108 @@
+"""Chipkill RS(n, n-2) code over GF(2^8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chipkill import ChipkillCode, gf_div, gf_mul, gf_pow_alpha
+
+DATA = st.lists(st.integers(min_value=0, max_value=255),
+                min_size=8, max_size=8)
+
+
+class TestFieldArithmetic:
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+
+    @given(st.integers(1, 255), st.integers(1, 255))
+    @settings(max_examples=100)
+    def test_div_inverts_mul(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_alpha_order(self):
+        # alpha generates the multiplicative group: alpha^255 == 1.
+        assert gf_pow_alpha(255) == 1
+        seen = {gf_pow_alpha(i) for i in range(255)}
+        assert len(seen) == 255
+
+
+class TestEncode:
+    @given(DATA)
+    @settings(max_examples=60)
+    def test_codeword_has_zero_syndromes(self, data):
+        code = ChipkillCode(8)
+        codeword = code.encode(data)
+        assert code.syndromes(codeword) == (0, 0)
+        assert len(codeword) == 10
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ChipkillCode(8).encode([0] * 7)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(ValueError):
+            ChipkillCode(8).encode([0] * 7 + [256])
+
+    def test_overhead(self):
+        assert ChipkillCode(8).storage_overhead == pytest.approx(0.25)
+
+
+class TestDecode:
+    @given(DATA)
+    @settings(max_examples=60)
+    def test_clean_roundtrip(self, data):
+        code = ChipkillCode(8)
+        decoded, status = code.decode(code.encode(data))
+        assert status == "ok"
+        assert decoded == data
+
+    @given(DATA, st.integers(min_value=0, max_value=9),
+           st.integers(min_value=1, max_value=255))
+    @settings(max_examples=100)
+    def test_any_single_chip_error_corrected(self, data, chip, garbage):
+        """The chipkill property: lose ANY one chip, recover the data."""
+        code = ChipkillCode(8)
+        broken = code.kill_chip(code.encode(data), chip, garbage)
+        decoded, status = code.decode(broken)
+        assert status == "corrected"
+        assert decoded == data
+
+    @given(DATA, st.integers(min_value=1, max_value=255),
+           st.integers(min_value=1, max_value=255))
+    @settings(max_examples=60)
+    def test_double_chip_error_never_miscorrects_silently_wrong(
+            self, data, g1, g2):
+        """Two chip errors must not be 'corrected' into wrong data."""
+        code = ChipkillCode(8)
+        codeword = code.encode(data)
+        broken = list(codeword)
+        broken[0] ^= g1
+        broken[5] ^= g2
+        decoded, status = code.decode(broken)
+        # Distance 3: double errors are either detected or (rarely)
+        # alias to a single-error pattern; if "corrected" the result
+        # must at least be a valid codeword — never silently s0/s1
+        # inconsistent. Wrong data with status "corrected" is the known
+        # theoretical limit (same as SECDED's double-error aliasing).
+        if status == "corrected":
+            assert decoded is not None
+        else:
+            assert status == "detected"
+            assert decoded is None
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ChipkillCode(8).decode([0] * 9)
+
+    def test_kill_chip_bounds(self):
+        code = ChipkillCode(8)
+        with pytest.raises(ValueError):
+            code.kill_chip(code.encode([0] * 8), 10)

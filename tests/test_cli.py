@@ -1,0 +1,48 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_config
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.experiment == "fig6"
+        assert args.reads is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig6", "--reads", "500", "--benchmarks", "mcf,lbm",
+             "--cache", "off"])
+        config = make_config(args)
+        assert config.target_dram_reads == 500
+        assert config.benchmarks == ("mcf", "lbm")
+        assert config.cache_dir is None
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "tab2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonsense"]) == 2
+
+    def test_runs_table2(self, capsys):
+        assert main(["tab2", "--cache", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "tRC" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["tab1", "--cache", "off",
+                     "--output", str(out_file)]) == 0
+        assert "Re-Order-Buffer" in out_file.read_text()
+
+    def test_small_simulation_experiment(self, capsys, tmp_path):
+        assert main(["fig8", "--reads", "150", "--benchmarks", "mcf",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fast_fraction" in out

@@ -1,0 +1,211 @@
+"""The critical-word-first heterogeneous memory system."""
+
+import pytest
+
+from repro.core.cwf import (
+    CriticalWordMemory,
+    CWFConfig,
+    CWFPolicy,
+    DDR3_FAST_DEVICE,
+    HeteroPair,
+)
+from repro.dram.device import DRAMKind
+from repro.util.events import EventQueue
+
+
+def make_memory(policy=CWFPolicy.STATIC, pair=HeteroPair.RL,
+                parity_error_rate=0.0, tag_seeder=None,
+                shared_command_bus=True):
+    events = EventQueue()
+    memory = CriticalWordMemory(
+        events,
+        CWFConfig(pair=pair, policy=policy,
+                  parity_error_rate=parity_error_rate,
+                  shared_command_bus=shared_command_bus),
+        tag_seeder=tag_seeder)
+    return events, memory
+
+
+def do_read(events, memory, line, word, is_prefetch=False):
+    log = {}
+    ok = memory.issue_read(
+        line_address=line, critical_word=word, core_id=0,
+        is_prefetch=is_prefetch,
+        on_critical=lambda t: log.setdefault("critical", t),
+        on_complete=lambda t: log.setdefault("complete", t))
+    assert ok
+    guard = 0
+    while "complete" not in log:
+        assert events.step(), "no completion"
+        guard += 1
+        assert guard < 200_000
+    return log
+
+
+class TestStructure:
+    def test_rl_devices(self):
+        _, memory = make_memory()
+        assert memory.config.fast_device.kind is DRAMKind.RLDRAM3
+        assert memory.config.bulk_device.kind is DRAMKind.LPDDR2
+
+    def test_sixteen_fast_chips(self):
+        # Paper Fig 5c: 4 sub-channels x 4 single-chip x9 ranks.
+        _, memory = make_memory()
+        assert len(memory.fast_controllers) == 1
+        assert len(memory.fast_controllers[0].ranks) == 16
+
+    def test_dl_uses_close_page_ddr3_fast_side(self):
+        _, memory = make_memory(pair=HeteroPair.DL)
+        assert memory.config.fast_device is DDR3_FAST_DEVICE
+        assert memory.config.fast_device.data_width_bits == 9
+
+    def test_unaggregated_variant(self):
+        _, memory = make_memory(shared_command_bus=False)
+        assert len(memory.fast_controllers) == 4
+        assert all(len(mc.ranks) == 4 for mc in memory.fast_controllers)
+
+
+class TestFastDecode:
+    def test_subchannel_tracks_bulk_channel(self):
+        _, memory = make_memory()
+        rps = memory.config.fast_ranks_per_subchannel
+        for line in range(0, 4096, 37):
+            bulk = memory.bulk_mapper.decode(line * 64)
+            fast = memory._fast_decode(line)
+            assert fast.rank // rps == bulk.channel
+
+    def test_distinct_lines_distinct_fast_slots(self):
+        _, memory = make_memory()
+        seen = set()
+        for line in range(8192):
+            d = memory._fast_decode(line)
+            key = (d.channel, d.rank, d.bank, d.row, d.column)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestPolicies:
+    def test_static_always_word0(self):
+        _, memory = make_memory(CWFPolicy.STATIC)
+        assert all(memory.fast_word(line) == 0 for line in range(100))
+
+    def test_random_stable_and_spread(self):
+        _, memory = make_memory(CWFPolicy.RANDOM)
+        words = [memory.fast_word(line) for line in range(4000)]
+        assert words == [memory.fast_word(line) for line in range(4000)]
+        histogram = [words.count(w) / len(words) for w in range(8)]
+        assert all(0.08 < f < 0.18 for f in histogram)
+
+    def test_adaptive_learns_from_writeback(self):
+        events, memory = make_memory(CWFPolicy.ADAPTIVE)
+        assert memory.fast_word(123) == 0
+        memory.issue_write(123, critical_word_tag=5, core_id=0)
+        assert memory.fast_word(123) == 5
+
+    def test_adaptive_seeder_fallback(self):
+        _, memory = make_memory(CWFPolicy.ADAPTIVE,
+                                tag_seeder=lambda line: line % 8)
+        assert memory.fast_word(13) == 5
+        memory.issue_write(13, critical_word_tag=2, core_id=0)
+        assert memory.fast_word(13) == 2  # real writeback overrides seed
+
+    def test_oracle_always_covers(self):
+        _, memory = make_memory(CWFPolicy.ORACLE)
+        assert memory._covers(99, 7)
+
+    def test_static_covers_only_word0(self):
+        _, memory = make_memory(CWFPolicy.STATIC)
+        assert memory._covers(1, 0)
+        assert not memory._covers(1, 3)
+
+
+class TestReadPath:
+    def test_word0_read_wakes_from_fast_side(self):
+        events, memory = make_memory()
+        log = do_read(events, memory, line=17, word=0)
+        assert log["critical"] < log["complete"]
+        assert memory.stats.critical_served_fast == 1
+        assert memory.stats.critical_served_slow == 0
+
+    def test_fast_wake_is_much_earlier(self):
+        events, memory = make_memory()
+        log = do_read(events, memory, line=17, word=0)
+        # RLDRAM answer lands tens of cycles before the LPDDR2 line.
+        assert log["complete"] - log["critical"] > 50
+
+    def test_nonzero_word_served_by_bulk(self):
+        events, memory = make_memory()
+        log = do_read(events, memory, line=17, word=4)
+        assert memory.stats.critical_served_slow == 1
+        # Still earlier than the full line (bulk burst is reordered).
+        assert log["critical"] <= log["complete"]
+
+    def test_completion_needs_both_parts(self):
+        events, memory = make_memory()
+        log = do_read(events, memory, line=17, word=0)
+        bulk_latency = (memory.bulk_timing.t_rcd + memory.bulk_timing.t_rl
+                        + memory.bulk_timing.t_burst)
+        assert log["complete"] >= bulk_latency
+
+    def test_prefetch_not_counted_in_critical_stats(self):
+        events, memory = make_memory()
+        do_read(events, memory, line=17, word=0, is_prefetch=True)
+        assert memory.stats.demand_reads == 0
+        assert memory.stats.critical_served_fast == 0
+        assert memory.stats.reads == 1
+
+
+class TestWritePath:
+    def test_write_goes_to_both_sides(self):
+        events, memory = make_memory()
+        assert memory.issue_write(9, critical_word_tag=0, core_id=0)
+        events.run(10_000)
+        fast_writes = sum(mc.stats.writes_done
+                          for mc in memory.fast_controllers)
+        bulk_writes = sum(mc.stats.writes_done
+                          for mc in memory.bulk_controllers)
+        assert fast_writes == 1
+        assert bulk_writes == 1
+
+
+class TestParityPath:
+    def test_parity_error_defers_wake_to_fill(self):
+        events, memory = make_memory(parity_error_rate=1.0)
+        log = do_read(events, memory, line=17, word=0)
+        assert memory.parity_deferrals == 1
+        assert log["critical"] == log["complete"]
+        # Deferred wakes count as slow service.
+        assert memory.stats.critical_served_slow == 1
+
+
+class TestBackPressure:
+    def test_full_queue_rejects_atomically(self):
+        events, memory = make_memory()
+        limit = memory.bulk_controllers[0].config.read_queue_size
+        issued = 0
+        line = 0
+        while True:
+            ok = memory.issue_read(line_address=line * 4, critical_word=0,
+                                   core_id=0, is_prefetch=False,
+                                   on_critical=lambda t: None,
+                                   on_complete=lambda t: None)
+            if not ok:
+                break
+            issued += 1
+            line += 1
+            assert issued <= 16 * limit
+        # Rejection left the two sides consistent (no half-issued read).
+        fast_q = len(memory.fast_controllers[0].read_queue)
+        bulk_q = sum(len(mc.read_queue) for mc in memory.bulk_controllers)
+        assert fast_q == bulk_q
+
+
+class TestActivities:
+    def test_chip_activity_families_and_counts(self):
+        events, memory = make_memory()
+        do_read(events, memory, line=17, word=0)
+        memory.finalize()
+        activities = memory.chip_activities(elapsed_cycles=100_000)
+        assert set(activities) == {"bulk:lpddr2", "fast:rldram3"}
+        assert len(activities["bulk:lpddr2"]) == 4 * 8
+        assert len(activities["fast:rldram3"]) == 16

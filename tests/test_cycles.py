@@ -1,0 +1,82 @@
+"""Tests for clock-domain arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.cycles import (
+    bus_cycles_to_cpu_cycles,
+    ceil_div,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceil(self, a, b):
+        import math
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestNsToCycles:
+    def test_table2_ddr3_trc(self):
+        # 50 ns at 3.2 GHz is exactly 160 cycles.
+        assert ns_to_cycles(50.0) == 160
+
+    def test_table2_ddr3_trcd(self):
+        # 13.5 ns * 3.2 = 43.2 -> rounds up to 44 (constraints are safe).
+        assert ns_to_cycles(13.5) == 44
+
+    def test_rldram_trc(self):
+        assert ns_to_cycles(12.0) == 39  # 38.4 rounds up
+
+    def test_zero(self):
+        assert ns_to_cycles(0.0) == 0
+
+    def test_float_noise_does_not_add_cycle(self):
+        # 10 ns * 3.2 GHz = 32.000000000000004 in float; must stay 32.
+        assert ns_to_cycles(10.0) == 32
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_never_undershoots(self, ns):
+        cycles = ns_to_cycles(ns)
+        assert cycles + 1e-6 >= ns * 3.2 - 1e-3
+
+    def test_roundtrip_consistency(self):
+        cycles = ns_to_cycles(37.0)
+        assert cycles_to_ns(cycles) >= 37.0 - 1e-9
+
+
+class TestBusCycles:
+    def test_ddr3_bus_cycle(self):
+        # One 800 MHz bus cycle = 1.25 ns = 4 CPU cycles at 3.2 GHz.
+        assert bus_cycles_to_cpu_cycles(1, 800.0) == 4
+
+    def test_lpddr2_bus_cycle(self):
+        assert bus_cycles_to_cpu_cycles(1, 400.0) == 8
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bus_cycles_to_cpu_cycles(-1, 800.0)

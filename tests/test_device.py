@@ -1,0 +1,66 @@
+"""Device geometry presets and validation."""
+
+import pytest
+
+from repro.dram.device import (
+    DDR3_DEVICE,
+    DeviceConfig,
+    DRAMKind,
+    LPDDR2_DEVICE,
+    PagePolicy,
+    RLDRAM3_DEVICE,
+    device_for,
+)
+from repro.dram.timing import DDR3_TIMING
+
+
+class TestPresets:
+    def test_ddr3_is_2gbit(self):
+        assert DDR3_DEVICE.capacity_mbit == 2048
+        assert DDR3_DEVICE.num_banks == 8
+        assert DDR3_DEVICE.data_width_bits == 8
+
+    def test_rldram3_is_576mbit_16banks(self):
+        assert RLDRAM3_DEVICE.capacity_mbit == 576
+        assert RLDRAM3_DEVICE.num_banks == 16
+        assert RLDRAM3_DEVICE.data_width_bits == 9  # 8 data + parity
+
+    def test_rldram3_close_page_single_command(self):
+        assert RLDRAM3_DEVICE.page_policy is PagePolicy.CLOSE
+        assert RLDRAM3_DEVICE.single_command_addressing
+        assert not RLDRAM3_DEVICE.supports_power_down
+
+    def test_open_page_parts(self):
+        assert DDR3_DEVICE.page_policy is PagePolicy.OPEN
+        assert LPDDR2_DEVICE.page_policy is PagePolicy.OPEN
+
+    def test_geometry_consistent_with_capacity(self):
+        for dev in (DDR3_DEVICE, LPDDR2_DEVICE, RLDRAM3_DEVICE):
+            bits = (dev.num_banks * dev.num_rows * dev.num_cols
+                    * dev.data_width_bits)
+            assert bits == dev.capacity_mbit * 1024 * 1024
+
+    def test_row_size(self):
+        # 1K columns x 8 bits = 1 KB row buffer per DDR3 chip.
+        assert DDR3_DEVICE.row_size_bytes == 1024
+
+    def test_device_for(self):
+        assert device_for(DRAMKind.DDR3) is DDR3_DEVICE
+        assert device_for(DRAMKind.RLDRAM3) is RLDRAM3_DEVICE
+        assert device_for(DRAMKind.LPDDR2) is LPDDR2_DEVICE
+
+
+class TestValidation:
+    def test_rejects_inconsistent_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(kind=DRAMKind.DDR3, part_number="bogus",
+                         timing=DDR3_TIMING, capacity_mbit=4096,
+                         data_width_bits=8, num_banks=8, num_rows=32768,
+                         num_cols=1024, page_policy=PagePolicy.OPEN)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(kind=DRAMKind.DDR3, part_number="bogus",
+                         timing=DDR3_TIMING, capacity_mbit=2048,
+                         data_width_bits=8, num_banks=0, num_rows=32768,
+                         num_cols=1024, page_policy=PagePolicy.OPEN)

@@ -1,0 +1,90 @@
+"""System energy model (paper Sec 6.1.3 methodology)."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy.model import (
+    BASELINE_DRAM_SYSTEM_FRACTION,
+    SystemEnergyModel,
+    weighted_speedup,
+)
+from repro.sim.system import SimResult
+
+
+def fake_result(power_mw=10_000.0, elapsed=100_000, throughput=8.0,
+                memory="ddr3"):
+    return SimResult(
+        benchmark="x", memory=memory, num_cores=8,
+        elapsed_cycles=elapsed, instructions=1_000_000,
+        per_core_ipc=[throughput / 8] * 8,
+        dram_reads=1000, dram_writes=100, demand_reads=900,
+        avg_queue_latency=50.0, avg_core_latency=100.0,
+        avg_critical_latency=150.0, avg_fill_latency=180.0,
+        fast_service_fraction=0.0, bus_utilization=0.2,
+        memory_power_mw=power_mw, memory_power_by_family={},
+        l2_hit_rate=0.5)
+
+
+class TestModelSetup:
+    def test_baseline_dram_is_quarter_of_system(self):
+        base = fake_result()
+        model = SystemEnergyModel(base)
+        assert model.baseline_system_mw == pytest.approx(
+            base.memory_power_mw / BASELINE_DRAM_SYSTEM_FRACTION)
+        assert model.cpu_peak_mw == pytest.approx(30_000.0)
+        assert model.cpu_static_mw == pytest.approx(10_000.0)
+
+    def test_rejects_zero_power_baseline(self):
+        with pytest.raises(ValueError):
+            SystemEnergyModel(fake_result(power_mw=0.0))
+
+
+class TestReports:
+    def test_baseline_reports_unity(self):
+        base = fake_result()
+        report = SystemEnergyModel(base).report(base)
+        assert report.normalized_memory_energy == pytest.approx(1.0)
+        assert report.normalized_system_energy == pytest.approx(1.0)
+        assert report.normalized_exec_time == pytest.approx(1.0)
+
+    def test_faster_same_power_saves_energy(self):
+        base = fake_result()
+        better = fake_result(elapsed=80_000, throughput=10.0)
+        report = SystemEnergyModel(base).report(better)
+        assert report.normalized_memory_energy == pytest.approx(0.8)
+        # CPU dynamic power rises with activity, so system savings are
+        # smaller than the time saving but still positive.
+        assert 0.8 < report.normalized_system_energy < 1.0
+
+    def test_cpu_power_scales_with_activity(self):
+        base = fake_result()
+        model = SystemEnergyModel(base)
+        slow = fake_result(throughput=4.0)
+        assert model.cpu_power(slow) < model.cpu_power(base)
+        # One third of CPU power is static: halving activity cannot
+        # halve CPU power.
+        assert model.cpu_power(slow) > 0.5 * model.cpu_power(base)
+
+    def test_memory_power_reduction_tracks(self):
+        base = fake_result()
+        low_power = fake_result(power_mw=8_500.0)
+        report = SystemEnergyModel(base).report(low_power)
+        assert report.normalized_memory_power == pytest.approx(0.85)
+
+
+class TestWeightedSpeedup:
+    def test_identity(self):
+        assert weighted_speedup([1.0] * 8, [1.0] * 8) == pytest.approx(8.0)
+
+    def test_paper_definition(self):
+        # sum_i IPC_shared / IPC_alone
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 1.0])
+
+    def test_zero_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])

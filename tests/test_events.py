@@ -1,0 +1,93 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.util.events import EventQueue
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    log = []
+    q.schedule(10, lambda: log.append("b"))
+    q.schedule(5, lambda: log.append("a"))
+    q.schedule(20, lambda: log.append("c"))
+    q.run()
+    assert log == ["a", "b", "c"]
+    assert q.now == 20
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    log = []
+    for name in "abcd":
+        q.schedule(7, lambda n=name: log.append(n))
+    q.run()
+    assert log == ["a", "b", "c", "d"]
+
+
+def test_schedule_in_past_rejected():
+    q = EventQueue()
+    q.schedule(5, lambda: None)
+    q.step()
+    with pytest.raises(ValueError):
+        q.schedule(3, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    log = []
+    event = q.schedule(5, lambda: log.append("x"))
+    q.schedule(6, lambda: log.append("y"))
+    event.cancel()
+    q.run()
+    assert log == ["y"]
+
+
+def test_schedule_after_uses_current_time():
+    q = EventQueue()
+    log = []
+    q.schedule(10, lambda: q.schedule_after(5, lambda: log.append(q.now)))
+    q.run()
+    assert log == [15]
+
+
+def test_run_until_advances_clock_without_events():
+    q = EventQueue()
+    q.run_until(100)
+    assert q.now == 100
+
+
+def test_run_until_executes_only_due_events():
+    q = EventQueue()
+    log = []
+    q.schedule(5, lambda: log.append(5))
+    q.schedule(50, lambda: log.append(50))
+    q.run_until(10)
+    assert log == [5]
+    assert q.now == 10
+    q.run()
+    assert log == [5, 50]
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    e1 = q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    assert len(q) == 1
+
+
+def test_events_scheduled_during_execution():
+    q = EventQueue()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            q.schedule_after(1, lambda: chain(n + 1))
+
+    q.schedule(0, lambda: chain(0))
+    q.run()
+    assert log == [0, 1, 2, 3]
+    assert q.now == 3

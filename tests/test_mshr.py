@@ -1,0 +1,115 @@
+"""MSHR file: allocation, merging, split-arrival wake protocol."""
+
+import pytest
+
+from repro.cpu.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_get(self):
+        f = MSHRFile(capacity=4)
+        entry = f.allocate(10, critical_word=3, core_id=1)
+        assert f.get(10) is entry
+        assert entry.critical_word == 3
+        assert len(f) == 1
+
+    def test_capacity_stall(self):
+        f = MSHRFile(capacity=1)
+        assert f.allocate(1, 0, 0) is not None
+        assert f.allocate(2, 0, 0) is None
+        assert f.stalls == 1
+
+    def test_duplicate_raises(self):
+        f = MSHRFile(capacity=4)
+        f.allocate(1, 0, 0)
+        with pytest.raises(RuntimeError):
+            f.allocate(1, 0, 0)
+
+    def test_deallocate_rolls_back(self):
+        f = MSHRFile(capacity=1)
+        f.allocate(1, 0, 0)
+        f.deallocate(1)
+        assert f.allocate(2, 0, 0) is not None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=0)
+
+
+class TestWakeProtocol:
+    def test_primary_wakes_on_critical(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=0, core_id=0)
+        woken = []
+        entry.primary_waiters.append(woken.append)
+        entry.critical_time = 100
+        assert entry.wake_primaries(100) == 1
+        assert woken == [100]
+        assert not entry.primary_waiters
+
+    def test_release_wakes_fill_waiters(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=0, core_id=0)
+        woken = []
+        entry.fill_waiters.append(lambda t: woken.append(("fill", t)))
+        entry.complete_time = 200
+        f.release(1, 200)
+        assert woken == [("fill", 200)]
+        assert f.get(1) is None
+
+    def test_release_incomplete_raises(self):
+        f = MSHRFile()
+        f.allocate(1, critical_word=0, core_id=0)
+        with pytest.raises(RuntimeError):
+            f.release(1, 100)
+
+    def test_release_wakes_stragglers(self):
+        # Safety: a primary still blocked at release must not be lost.
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=0, core_id=0)
+        woken = []
+        entry.primary_waiters.append(woken.append)
+        entry.complete_time = 300
+        f.release(1, 300)
+        assert woken == [300]
+
+
+class TestMerge:
+    def test_merge_same_word_joins_primaries(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=2, core_id=0)
+        woken = []
+        f.merge(entry, woken.append, is_prefetch=False, write_intent=False,
+                word=2, now=50)
+        assert len(entry.primary_waiters) == 1
+        assert not woken
+
+    def test_merge_same_word_after_arrival_wakes_now(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=2, core_id=0)
+        entry.critical_time = 80
+        woken = []
+        f.merge(entry, woken.append, is_prefetch=False, write_intent=False,
+                word=2, now=120)
+        assert woken == [120]  # data buffered in the MSHR: immediate
+
+    def test_merge_other_word_waits_for_fill(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=2, core_id=0)
+        woken = []
+        f.merge(entry, woken.append, is_prefetch=False, write_intent=False,
+                word=5, now=50)
+        assert len(entry.fill_waiters) == 1
+
+    def test_merge_demotes_prefetch(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=0, core_id=0, is_prefetch=True)
+        f.merge(entry, None, is_prefetch=False, write_intent=False)
+        assert not entry.is_prefetch
+        assert f.merges == 1
+
+    def test_merge_accumulates_write_intent(self):
+        f = MSHRFile()
+        entry = f.allocate(1, critical_word=0, core_id=0)
+        f.merge(entry, None, is_prefetch=True, write_intent=True)
+        assert entry.write_intent

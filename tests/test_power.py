@@ -1,0 +1,151 @@
+"""DRAM power model: Micron-calculator equations and presets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.device import DRAMKind
+from repro.dram.power import (
+    ChipActivity,
+    DDR3_CURRENTS,
+    IddCurrents,
+    LPDDR2_NATIVE_CURRENTS,
+    RLDRAM3_CURRENTS,
+    default_power_model,
+    lpddr2_server_currents,
+)
+
+
+class TestIddValidation:
+    def test_rejects_zero_vdd(self):
+        with pytest.raises(ValueError):
+            IddCurrents(vdd=0, idd0=1, idd2p=1, idd2n=1, idd3p=1, idd3n=1,
+                        idd4r=2, idd4w=2, idd5=1, idd6=1)
+
+    def test_rejects_burst_below_standby(self):
+        with pytest.raises(ValueError):
+            IddCurrents(vdd=1.5, idd0=90, idd2p=12, idd2n=42, idd3p=35,
+                        idd3n=52, idd4r=40, idd4w=165, idd5=200, idd6=12)
+
+
+class TestActivityValidation:
+    def test_rejects_zero_elapsed(self):
+        with pytest.raises(ValueError):
+            ChipActivity(elapsed_ns=0)
+
+    def test_bus_utilization(self):
+        a = ChipActivity(elapsed_ns=100.0, read_bus_ns=30.0,
+                         write_bus_ns=20.0)
+        assert a.bus_utilization == pytest.approx(0.5)
+
+
+class TestBackgroundPower:
+    def test_idle_chip_draws_standby(self):
+        model = default_power_model(DRAMKind.DDR3)
+        a = ChipActivity(elapsed_ns=1000.0, precharge_standby_ns=1000.0)
+        out = model.compute(a)
+        expected = DDR3_CURRENTS.idd2n * DDR3_CURRENTS.vdd
+        assert out.background_mw == pytest.approx(expected)
+        assert out.read_mw == 0.0
+        assert out.activate_mw == 0.0
+
+    def test_power_down_cheaper_than_standby(self):
+        model = default_power_model(DRAMKind.DDR3)
+        standby = model.compute(ChipActivity(elapsed_ns=1000.0,
+                                             precharge_standby_ns=1000.0))
+        down = model.compute(ChipActivity(elapsed_ns=1000.0,
+                                          power_down_ns=1000.0))
+        assert down.background_mw < standby.background_mw
+
+    def test_untallied_time_counts_as_standby(self):
+        model = default_power_model(DRAMKind.DDR3)
+        out = model.compute(ChipActivity(elapsed_ns=1000.0))
+        expected = DDR3_CURRENTS.idd2n * DDR3_CURRENTS.vdd
+        assert out.background_mw == pytest.approx(expected)
+
+
+class TestActivateEnergy:
+    def test_ddr3_act_energy_positive(self):
+        model = default_power_model(DRAMKind.DDR3)
+        # E = 1.5 * (90*50 - 52*37 - 42*13) pJ = ~3 nJ
+        assert 1.0 < model.activate_energy_nj < 6.0
+
+    def test_rldram_act_energy_exceeds_lpddr2(self):
+        rld = default_power_model(DRAMKind.RLDRAM3)
+        lpd = default_power_model(DRAMKind.LPDDR2)
+        assert rld.activate_energy_nj > lpd.activate_energy_nj
+
+    def test_server_adaptation_keeps_act_energy(self):
+        # The idle-current bump must not change dynamic ACT energy.
+        adapted = default_power_model(DRAMKind.LPDDR2, server_adapted=True)
+        native = default_power_model(DRAMKind.LPDDR2, server_adapted=False)
+        assert adapted.activate_energy_nj == pytest.approx(
+            native.activate_energy_nj, rel=0.01)
+
+
+class TestFigure2Shape:
+    """The qualitative facts of paper Figure 2."""
+
+    def models(self):
+        return {k: default_power_model(k) for k in DRAMKind}
+
+    def test_rldram_floor_much_higher(self):
+        m = self.models()
+        rld = m[DRAMKind.RLDRAM3].power_at_utilization(0.0).total_mw
+        ddr = m[DRAMKind.DDR3].power_at_utilization(0.0).total_mw
+        lpd = m[DRAMKind.LPDDR2].power_at_utilization(0.0).total_mw
+        assert rld > 2.0 * ddr
+        assert lpd < ddr
+
+    def test_gap_shrinks_at_high_utilization(self):
+        m = self.models()
+        low_ratio = (m[DRAMKind.RLDRAM3].power_at_utilization(0.05).total_mw
+                     / m[DRAMKind.DDR3].power_at_utilization(0.05).total_mw)
+        high_ratio = (m[DRAMKind.RLDRAM3].power_at_utilization(0.9).total_mw
+                      / m[DRAMKind.DDR3].power_at_utilization(0.9).total_mw)
+        assert high_ratio < low_ratio
+
+    def test_power_monotonic_in_utilization(self):
+        for model in self.models().values():
+            prev = -1.0
+            for util in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+                total = model.power_at_utilization(util).total_mw
+                assert total > prev
+                prev = total
+
+    def test_rejects_bad_utilization(self):
+        model = default_power_model(DRAMKind.DDR3)
+        with pytest.raises(ValueError):
+            model.power_at_utilization(1.5)
+
+
+class TestServerAdaptation:
+    def test_server_idle_power_higher_than_native(self):
+        adapted = lpddr2_server_currents()
+        native = LPDDR2_NATIVE_CURRENTS
+        assert adapted.idd2p > native.idd2p
+        assert adapted.idd3p > native.idd3p
+        assert adapted.idd2n > native.idd2n
+
+    def test_unterminated_variant_cheaper_at_all_utils(self):
+        adapted = default_power_model(DRAMKind.LPDDR2, server_adapted=True)
+        native = default_power_model(DRAMKind.LPDDR2, server_adapted=False)
+        for util in (0.0, 0.3, 0.7, 1.0):
+            assert (native.power_at_utilization(util).total_mw
+                    < adapted.power_at_utilization(util).total_mw)
+
+
+class TestEnergyAccounting:
+    def test_energy_scales_with_time(self):
+        model = default_power_model(DRAMKind.DDR3)
+        out = model.compute(ChipActivity(elapsed_ns=1000.0,
+                                         precharge_standby_ns=1000.0))
+        assert out.energy_nj(2000.0) == pytest.approx(2 * out.energy_nj(1000.0))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_breakdown_components_non_negative(self, util):
+        model = default_power_model(DRAMKind.DDR3)
+        out = model.power_at_utilization(util)
+        for value in (out.background_mw, out.activate_mw, out.read_mw,
+                      out.write_mw, out.refresh_mw, out.io_term_mw,
+                      out.static_mw):
+            assert value >= 0.0

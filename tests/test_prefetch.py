@@ -1,0 +1,88 @@
+"""Stride prefetcher training and issue behaviour."""
+
+from repro.cpu.prefetch import PrefetcherConfig, StridePrefetcher
+
+
+def train(pf, lines):
+    out = []
+    for line in lines:
+        out.append(pf.observe(line))
+    return out
+
+
+class TestTraining:
+    def test_needs_confidence_before_issuing(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=3))
+        results = train(pf, [100, 101, 102])
+        assert all(not r for r in results)
+
+    def test_issues_after_confidence(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2,
+                                               degree=2, distance=3))
+        results = train(pf, [100, 101, 102, 103])
+        assert results[-1] == [106, 107]
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2,
+                                               degree=1, distance=2))
+        results = train(pf, [200, 198, 196, 194])
+        assert results[-1] == [190]
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=3))
+        train(pf, [100, 101, 102, 103, 104])
+        assert pf.observe(111) == []   # new stride (7): confidence resets
+        assert pf.observe(118) == []   # stride 7 confidence 2 < 3
+        assert pf.observe(125) != []   # now trusted
+
+    def test_zero_stride_ignored(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2))
+        results = train(pf, [100, 100, 100, 100])
+        assert all(not r for r in results)
+
+    def test_zero_stride_does_not_break_training(self):
+        # Word-granular streams touch the same line several times before
+        # moving on; the repeated observations must not reset confidence.
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2,
+                                               degree=1, distance=1))
+        seq = [100, 100, 101, 101, 102, 102, 103]
+        results = train(pf, seq)
+        assert any(r for r in results)
+
+
+class TestScope:
+    def test_streams_tracked_per_region(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2,
+                                               degree=1, distance=1))
+        # Two interleaved streams in distant regions train independently.
+        a, b = 1000, 50_000
+        issued = []
+        for i in range(5):
+            issued += pf.observe(a + i)
+            issued += pf.observe(b + 2 * i)
+        assert any(x > 50_000 for x in issued)
+        assert any(x < 2000 for x in issued)
+
+    def test_table_eviction(self):
+        pf = StridePrefetcher(PrefetcherConfig(table_size=2))
+        pf.observe(0)
+        pf.observe(10_000)
+        pf.observe(20_000)
+        assert len(pf._table) == 2
+
+    def test_disabled(self):
+        pf = StridePrefetcher(PrefetcherConfig(enabled=False))
+        assert train(pf, [1, 2, 3, 4, 5]) == [[]] * 5
+
+    def test_never_negative_lines(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2,
+                                               degree=2, distance=4))
+        for r in train(pf, [10, 8, 6, 4, 2, 0]):
+            assert all(line >= 0 for line in r)
+
+    def test_counters(self):
+        pf = StridePrefetcher(PrefetcherConfig(confidence_threshold=2,
+                                               degree=2))
+        train(pf, [100, 101, 102, 103, 104])
+        assert pf.trained >= 1
+        assert pf.issued >= 2

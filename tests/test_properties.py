@@ -1,0 +1,133 @@
+"""Property-based tests on core invariants (hypothesis).
+
+These drive the stateful components with random operation sequences and
+check invariants a cycle-accurate model must never violate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.channel import DataBus
+from repro.dram.rank import Rank
+from repro.dram.request import RequestKind
+from repro.dram.device import DDR3_DEVICE
+from repro.dram.timing import DDR3_TIMING, TimingSet
+from repro.util.events import EventQueue
+
+DDR3 = TimingSet(DDR3_TIMING)
+
+
+class TestBankInvariants:
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from(["act", "read", "write", "pre", "wait"]),
+                    max_size=60))
+    def test_legal_command_sequences_never_crash(self, ops):
+        """Drive the bank respecting can_* gates; state stays coherent."""
+        bank = Bank(timing=DDR3)
+        now = 0
+        row = 0
+        for op in ops:
+            now += 1
+            if op == "wait":
+                now += DDR3.t_rc
+            elif op == "act":
+                if bank.can_activate(now):
+                    row += 1
+                    bank.activate(now, row)
+            elif op == "read":
+                if bank.state is BankState.ACTIVE and bank.can_read(now, row):
+                    data = bank.column_read(now)
+                    assert data == now + DDR3.t_rl
+            elif op == "write":
+                if bank.state is BankState.ACTIVE and now >= bank.next_write:
+                    bank.column_write(now)
+            elif op == "pre":
+                if bank.can_precharge(now):
+                    bank.precharge(now)
+            # Invariants:
+            assert (bank.open_row is None) == (bank.state is BankState.IDLE)
+            assert bank.activate_count >= 0
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=1, max_value=300), max_size=40))
+    def test_activate_times_respect_trc(self, waits):
+        bank = Bank(timing=DDR3)
+        act_times = []
+        now = 0
+        for wait in waits:
+            now += wait
+            if bank.can_activate(now):
+                bank.activate(now, row=1)
+                act_times.append(now)
+            elif bank.can_precharge(now):
+                bank.precharge(now)
+        for a, b in zip(act_times, act_times[1:]):
+            assert b - a >= DDR3.t_rc
+
+
+class TestRankInvariants:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=4,
+                    max_size=40))
+    def test_no_five_activates_in_tfaw(self, waits):
+        rank = Rank(DDR3_DEVICE, DDR3)
+        acts = []
+        now = 0
+        for wait in waits:
+            now += wait
+            t = rank.earliest_activate(now)
+            rank.note_activate(t)
+            acts.append(t)
+            now = t
+        for i in range(len(acts) - 4):
+            window = acts[i + 4] - acts[i]
+            assert window >= DDR3.t_faw
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=2000)),
+                    max_size=30))
+    def test_tally_always_sums_to_elapsed(self, steps):
+        rank = Rank(DDR3_DEVICE, DDR3)
+        now = 0
+        for sleep, delta in steps:
+            now += delta
+            if sleep:
+                rank.try_power_down(now, idle_threshold=0)
+            else:
+                rank.touch(now)
+        tally = rank.finalize_tally(now)
+        assert tally.total() == now
+
+
+class TestDataBusInvariants:
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=0, max_value=200)),
+                    max_size=50))
+    def test_bursts_never_overlap(self, requests):
+        bus = DataBus(DDR3)
+        intervals = []
+        now = 0
+        for is_write, rank, delay in requests:
+            now += delay
+            kind = RequestKind.WRITE if is_write else RequestKind.READ
+            start = bus.earliest_start(now, kind, rank)
+            end = bus.reserve(start, kind, rank)
+            intervals.append((start, end))
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1  # strictly serialised
+
+
+class TestEventQueueInvariants:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=80))
+    def test_execution_times_monotonic(self, times):
+        q = EventQueue()
+        fired = []
+        for t in times:
+            q.schedule(t, lambda t=t: fired.append(t))
+        q.run()
+        assert fired == sorted(times)
+        assert len(fired) == len(times)

@@ -1,0 +1,45 @@
+"""EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
+from repro.report import CLAIMS, PaperClaim, render_report, _mean_row
+
+
+class TestClaims:
+    def test_every_claimed_experiment_exists(self):
+        from repro.experiments import ALL_EXPERIMENTS
+        assert set(CLAIMS) <= set(ALL_EXPERIMENTS)
+
+    def test_mean_row_lookup(self):
+        table = ExperimentTable("x", "t", ["benchmark", "rl"])
+        table.add(benchmark="a", rl=1.5)
+        table.add(benchmark="MEAN", rl=1.2)
+        assert _mean_row(table, "rl") == 1.2
+
+    def test_mean_row_missing_raises(self):
+        table = ExperimentTable("x", "t", ["benchmark", "rl"])
+        with pytest.raises(KeyError):
+            _mean_row(table, "rl")
+
+    def test_claim_formats_measurement(self):
+        table = ExperimentTable("x", "t", ["benchmark", "rl"])
+        table.add(benchmark="MEAN", rl=1.129)
+        claim = PaperClaim("demo", "+12.9%", lambda t: _mean_row(t, "rl"))
+        assert claim.measured(table) == "1.129"
+
+    def test_claim_survives_bad_measure(self):
+        claim = PaperClaim("demo", "x", lambda t: 1 / 0)
+        table = ExperimentTable("x", "t", ["benchmark"])
+        assert claim.measured(table).startswith("error")
+
+
+class TestRenderReport:
+    def test_fast_experiments_render(self, tmp_path):
+        config = ExperimentConfig(target_dram_reads=100,
+                                  benchmarks=("mcf",),
+                                  cache_dir=str(tmp_path))
+        text = render_report(config, experiments=["tab2", "fig2"])
+        assert "# EXPERIMENTS" in text
+        assert "tab2" in text and "fig2" in text
+        assert "| claim | paper | measured |" in text

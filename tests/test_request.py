@@ -1,0 +1,62 @@
+"""MemoryRequest record invariants."""
+
+import pytest
+
+from repro.dram.request import (
+    DecodedAddress,
+    LINE_BYTES,
+    MemoryRequest,
+    RequestKind,
+    WORDS_PER_LINE,
+)
+
+
+class TestValidation:
+    def test_rejects_bad_critical_word(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(kind=RequestKind.READ, address=0, critical_word=8)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(kind=RequestKind.READ, address=-64)
+
+    def test_line_geometry_constants(self):
+        assert LINE_BYTES == 64
+        assert WORDS_PER_LINE == 8
+
+
+class TestIdentity:
+    def test_request_ids_unique(self):
+        a = MemoryRequest(kind=RequestKind.READ, address=0)
+        b = MemoryRequest(kind=RequestKind.READ, address=0)
+        assert a.request_id != b.request_id
+
+    def test_line_address(self):
+        r = MemoryRequest(kind=RequestKind.READ, address=3 * 64 + 17)
+        assert r.line_address == 3
+
+    def test_is_read(self):
+        assert MemoryRequest(kind=RequestKind.READ, address=0).is_read
+        assert not MemoryRequest(kind=RequestKind.WRITE, address=0).is_read
+
+
+class TestLatencyViews:
+    def make(self):
+        r = MemoryRequest(kind=RequestKind.READ, address=0)
+        r.arrival_time = 100
+        return r
+
+    def test_unserved_latencies_none(self):
+        r = self.make()
+        assert r.queue_latency is None
+        assert r.core_latency is None
+        assert r.total_latency is None
+
+    def test_latency_decomposition(self):
+        r = self.make()
+        r.first_command_time = 150
+        r.critical_word_time = 250
+        assert r.queue_latency == 50
+        assert r.core_latency == 100
+        assert r.total_latency == 150
+        assert r.total_latency == r.queue_latency + r.core_latency

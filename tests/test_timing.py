@@ -1,0 +1,100 @@
+"""Timing presets must match paper Table 2 and convert correctly."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR3_TIMING,
+    LPDDR2_TIMING,
+    RLDRAM3_TIMING,
+    TIMING_PRESETS,
+    TimingParameters,
+    TimingSet,
+)
+
+
+class TestTable2Values:
+    """Paper Table 2, verbatim."""
+
+    def test_ddr3(self):
+        t = DDR3_TIMING
+        assert (t.t_rc, t.t_rcd, t.t_rl, t.t_rp) == (50.0, 13.5, 13.5, 13.5)
+        assert (t.t_ras, t.t_faw, t.t_wtr, t.t_wl) == (37.0, 40.0, 7.5, 6.5)
+        assert t.t_rtrs_bus_cycles == 2
+
+    def test_lpddr2(self):
+        t = LPDDR2_TIMING
+        assert (t.t_rc, t.t_rcd, t.t_rl, t.t_rp) == (60.0, 18.0, 18.0, 18.0)
+        assert (t.t_ras, t.t_faw, t.t_wtr, t.t_wl) == (42.0, 50.0, 7.5, 6.5)
+
+    def test_rldram3(self):
+        t = RLDRAM3_TIMING
+        assert t.t_rc == 12.0
+        assert t.t_rl == 10.0
+        assert t.t_wl == 11.25
+        assert t.t_wtr == 0.0
+        assert t.t_faw == 0.0  # no activation-window restriction
+
+    def test_frequencies(self):
+        assert DDR3_TIMING.bus_freq_mhz == 800.0
+        assert RLDRAM3_TIMING.bus_freq_mhz == 800.0
+        assert LPDDR2_TIMING.bus_freq_mhz == 400.0
+
+    def test_presets_registry(self):
+        assert set(TIMING_PRESETS) == {"ddr3", "lpddr2", "rldram3"}
+
+
+class TestBurstMath:
+    def test_ddr3_burst_is_5ns(self):
+        # BL8 double-data-rate at 800 MHz: 4 bus cycles = 5 ns per line.
+        assert DDR3_TIMING.t_burst == pytest.approx(5.0)
+
+    def test_lpddr2_burst_is_10ns(self):
+        assert LPDDR2_TIMING.t_burst == pytest.approx(10.0)
+
+    def test_rldram3_burst_is_5ns(self):
+        assert RLDRAM3_TIMING.t_burst == pytest.approx(5.0)
+
+
+class TestTimingSet:
+    def test_ddr3_cycles(self):
+        ts = TimingSet(DDR3_TIMING)
+        assert ts.t_rc == 160     # 50 ns * 3.2
+        assert ts.t_rcd == 44     # ceil(43.2)
+        assert ts.t_burst == 16   # 5 ns
+        assert ts.bus_cycle == 4
+
+    def test_lpddr2_cycles(self):
+        ts = TimingSet(LPDDR2_TIMING)
+        assert ts.t_rc == 192
+        assert ts.t_burst == 32
+        assert ts.bus_cycle == 8
+
+    def test_rldram3_cycles(self):
+        ts = TimingSet(RLDRAM3_TIMING)
+        assert ts.t_rc == 39
+        assert ts.t_rl == 32
+        assert ts.t_faw == 0
+
+    def test_custom_cpu_frequency(self):
+        ts = TimingSet(DDR3_TIMING, cpu_freq_ghz=1.0)
+        assert ts.t_rc == 50
+
+    def test_rldram_faster_than_ddr3_everywhere_it_matters(self):
+        rld = TimingSet(RLDRAM3_TIMING)
+        ddr = TimingSet(DDR3_TIMING)
+        assert rld.t_rc < ddr.t_rc
+        assert rld.t_rl < ddr.t_rl
+
+
+class TestValidation:
+    def test_rejects_nonpositive_trc(self):
+        with pytest.raises(ValueError):
+            TimingParameters(name="bad", t_rc=0.0, t_rcd=1, t_rl=1, t_rp=1,
+                             t_ras=1, t_rtrs_bus_cycles=2, t_faw=1,
+                             t_wtr=1, t_wl=1)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValueError):
+            TimingParameters(name="bad", t_rc=10, t_rcd=1, t_rl=1, t_rp=1,
+                             t_ras=1, t_rtrs_bus_cycles=2, t_faw=1,
+                             t_wtr=1, t_wl=1, burst_length=0)

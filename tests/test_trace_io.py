@@ -1,0 +1,77 @@
+"""Trace file I/O round trips and validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.core import TraceRecord
+from repro.workloads.synthetic import TraceGenerator
+from repro.workloads.profiles import profile_for
+from repro.workloads.trace import (
+    load_trace,
+    save_trace,
+    trace_from_string,
+    trace_stats,
+    trace_to_string,
+)
+
+records_strategy = st.lists(
+    st.builds(TraceRecord,
+              gap=st.integers(min_value=0, max_value=10_000),
+              is_write=st.booleans(),
+              address=st.integers(min_value=0, max_value=(1 << 40) - 1)),
+    max_size=200)
+
+
+class TestRoundTrip:
+    @settings(max_examples=30)
+    @given(records_strategy)
+    def test_string_roundtrip(self, records):
+        loaded, _ = trace_from_string(trace_to_string(records))
+        assert loaded == records
+
+    def test_file_roundtrip_with_metadata(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        trace = TraceGenerator(profile_for("mcf"), 0).records(100)
+        save_trace(trace, path, metadata={"benchmark": "mcf", "core": "0"})
+        loaded, meta = load_trace(path)
+        assert loaded == trace
+        assert meta == {"benchmark": "mcf", "core": "0"}
+
+    def test_loaded_trace_runs(self, tmp_path):
+        from repro.sim.config import SimConfig
+        from repro.sim.system import SimulationSystem
+        path = tmp_path / "trace.txt"
+        save_trace(TraceGenerator(profile_for("mcf"), 0).records(50), path)
+        loaded, _ = load_trace(path)
+        system = SimulationSystem(SimConfig(num_cores=1), [loaded])
+        result = system.run()
+        assert result.instructions == sum(r.gap + 1 for r in loaded)
+
+
+class TestValidation:
+    def test_rejects_wrong_header(self):
+        with pytest.raises(ValueError):
+            trace_from_string("nonsense\n1 R 0x0\n")
+
+    def test_rejects_malformed_record(self):
+        with pytest.raises(ValueError):
+            trace_from_string("# repro-trace v1\n1 X 0x0\n")
+
+    def test_ignores_blank_and_comment_lines(self):
+        text = "# repro-trace v1\n\n# a comment\n3 W 0x40\n"
+        records, _ = trace_from_string(text)
+        assert records == [TraceRecord(gap=3, is_write=True, address=0x40)]
+
+
+class TestStats:
+    def test_empty(self):
+        assert trace_stats([])["records"] == 0
+
+    def test_summary(self):
+        trace = [TraceRecord(2, False, 0), TraceRecord(4, True, 64)]
+        stats = trace_stats(trace)
+        assert stats["records"] == 2
+        assert stats["instructions"] == 8
+        assert stats["write_fraction"] == 0.5
+        assert stats["distinct_lines"] == 2
+        assert stats["mean_gap"] == 3.0

@@ -1,0 +1,91 @@
+"""Uncore edge cases: split-wake ablation flag, deadlock guards."""
+
+import pytest
+
+from repro.cpu.cache import CacheConfig
+from repro.cpu.core import AccessResult
+from repro.cpu.prefetch import PrefetcherConfig
+from repro.cpu.uncore import Uncore, UncoreConfig
+from repro.sim.config import MemoryKind, SimConfig
+from repro.sim.system import SimulationSystem
+from repro.cpu.core import TraceRecord
+from repro.util.events import EventQueue
+
+
+class SplitMemory:
+    """Memory whose critical part lands well before the fill."""
+
+    def __init__(self, events):
+        self.events = events
+
+    def issue_read(self, line_address, critical_word, core_id, is_prefetch,
+                   on_critical, on_complete):
+        now = self.events.now
+        self.events.schedule(now + 50, lambda: on_critical(now + 50))
+        self.events.schedule(now + 400, lambda: on_complete(now + 400))
+        return True
+
+    def issue_write(self, line_address, critical_word_tag, core_id):
+        return True
+
+
+def make_uncore(events, critical_word_wakeup=True):
+    config = UncoreConfig(
+        l1=CacheConfig(name="L1", size_bytes=2 * 64 * 2, associativity=2),
+        l2=CacheConfig(name="L2", size_bytes=8 * 64 * 4, associativity=4),
+        prefetcher=PrefetcherConfig(enabled=False),
+        dram_path_latency=0,
+        critical_word_wakeup=critical_word_wakeup)
+    return Uncore(1, SplitMemory(events), events, config)
+
+
+class TestSplitWakeFlag:
+    def test_enabled_wakes_early(self):
+        events = EventQueue()
+        uncore = make_uncore(events, critical_word_wakeup=True)
+        woken = []
+        uncore.access(0, False, 0, woken.append)
+        events.run(100)
+        assert woken == [50]
+
+    def test_disabled_waits_for_fill(self):
+        events = EventQueue()
+        uncore = make_uncore(events, critical_word_wakeup=False)
+        woken = []
+        uncore.access(0, False, 0, woken.append)
+        events.run(100)
+        assert woken == [400]
+
+
+class TestDeadlockGuards:
+    def test_deadlock_reported_not_hung(self):
+        """A memory that never answers must fail loudly."""
+
+        class BlackHole:
+            def issue_read(self, *args, **kwargs):
+                return True
+
+            def issue_write(self, *args, **kwargs):
+                return True
+
+            def chip_activities(self, elapsed):
+                return {}
+
+            def bus_utilization(self, elapsed):
+                return 0.0
+
+        config = SimConfig(num_cores=1, target_dram_reads=10)
+        trace = [TraceRecord(gap=0, is_write=False, address=0)]
+        system = SimulationSystem(config, [trace])
+        system.memory = BlackHole()
+        system.uncore.memory = system.memory
+        with pytest.raises(RuntimeError, match="deadlock"):
+            system.run()
+
+    def test_max_events_guard(self):
+        config = SimConfig(num_cores=1, target_dram_reads=10)
+        trace = [TraceRecord(gap=0, is_write=False, address=i * 4096)
+                 for i in range(20)]
+        system = SimulationSystem(config, [trace])
+        with pytest.raises(RuntimeError, match="max_events"):
+            system.run(max_events=5)

@@ -1,0 +1,41 @@
+"""Analytic latency validation must pass exactly."""
+
+import pytest
+
+from repro.dram.device import DDR3_DEVICE, LPDDR2_DEVICE, RLDRAM3_DEVICE
+from repro.validate import ValidationCheck, validate_all, validate_device
+
+
+class TestValidation:
+    def test_all_checks_pass(self):
+        checks = validate_all()
+        failures = [str(c) for c in checks if not c.ok]
+        assert not failures, "\n".join(failures)
+
+    def test_covers_all_device_families(self):
+        names = {c.name.split()[0] for c in validate_all()}
+        assert names == {DDR3_DEVICE.part_number,
+                         LPDDR2_DEVICE.part_number,
+                         RLDRAM3_DEVICE.part_number}
+
+    def test_open_page_devices_get_row_cases(self):
+        checks = validate_device(DDR3_DEVICE)
+        kinds = {c.name.split(" ", 1)[1] for c in checks}
+        assert "row-hit read" in kinds
+        assert "row-conflict read" in kinds
+
+    def test_close_page_device_skips_row_cases(self):
+        checks = validate_device(RLDRAM3_DEVICE)
+        kinds = {c.name.split(" ", 1)[1] for c in checks}
+        assert "row-hit read" not in kinds
+
+    def test_check_str_flags(self):
+        good = ValidationCheck("x", 5, 5)
+        bad = ValidationCheck("x", 5, 6)
+        assert good.ok and "OK" in str(good)
+        assert not bad.ok and "FAIL" in str(bad)
+
+    def test_rldram_unloaded_beats_ddr3(self):
+        ddr = validate_device(DDR3_DEVICE)[0].measured_cycles
+        rld = validate_device(RLDRAM3_DEVICE)[0].measured_cycles
+        assert rld < ddr

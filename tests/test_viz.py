@@ -1,0 +1,75 @@
+"""Terminal visualisation helpers."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentTable
+from repro.viz import bar_chart, render_bars, scatter, table_scatter
+
+
+def sample_table():
+    table = ExperimentTable("figX", "demo", ["benchmark", "rl"])
+    table.add(benchmark="a", rl=1.2)
+    table.add(benchmark="bb", rl=0.8)
+    table.add(benchmark="MEAN", rl=1.0)
+    return table
+
+
+class TestRenderBars:
+    def test_empty(self):
+        assert render_bars([]) == "(no data)"
+
+    def test_bars_scale_with_values(self):
+        text = render_bars([("x", 1.0), ("y", 0.5)], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_reference_marker_drawn(self):
+        text = render_bars([("x", 0.5)], width=20, reference=1.0)
+        assert "|" in text
+
+    def test_zero_values_ok(self):
+        text = render_bars([("x", 0.0)])
+        assert "x" in text
+
+    def test_labels_aligned(self):
+        text = render_bars([("short", 1.0), ("longer-name", 1.0)])
+        lines = text.splitlines()
+        assert lines[0].index("1.000") == lines[1].index("1.000")
+
+
+class TestBarChart:
+    def test_skips_mean_row(self):
+        text = bar_chart(sample_table(), value="rl")
+        assert "MEAN" not in text
+        assert "bb" in text
+
+    def test_header_present(self):
+        text = bar_chart(sample_table(), value="rl")
+        assert "figX" in text
+
+
+class TestScatter:
+    def test_empty(self):
+        assert scatter([]) == "(no data)"
+
+    def test_extremes_plotted(self):
+        text = scatter([(0.0, 0.0), (1.0, 1.0)], width=10, height=5)
+        lines = text.splitlines()
+        # Top row holds the max-y point, bottom grid row the min-y one.
+        assert "*" in lines[1]
+        assert "*" in lines[5]
+
+    def test_labels_used_as_marks(self):
+        text = scatter([(0, 0), (1, 1)], labels=["alpha", "beta"],
+                       width=10, height=4)
+        assert "a" in text and "b" in text
+
+    def test_table_scatter(self):
+        table = ExperimentTable("fig11", "scatter demo",
+                                ["benchmark", "u", "s"])
+        table.add(benchmark="a", u=0.1, s=0.05)
+        table.add(benchmark="b", u=0.4, s=0.2)
+        text = table_scatter(table, x="u", y="s")
+        assert "fig11" in text
+        assert "u [" in text

@@ -1,0 +1,32 @@
+"""The paper's weighted-speedup throughput metric (Section 5)."""
+
+import pytest
+
+from repro.sim.config import MemoryKind, SimConfig
+from repro.sim.system import run_weighted_speedup
+
+
+class TestWeightedSpeedup:
+    def test_bounded_by_core_count(self):
+        config = SimConfig(num_cores=2, target_dram_reads=300)
+        ws = run_weighted_speedup("mcf", config)
+        # Sharing memory can only slow a core down vs running alone
+        # (modulo tiny prefetch-sharing effects), so WS <= N.
+        assert 0 < ws <= 2.2
+
+    def test_contention_lowers_weighted_speedup(self):
+        light = SimConfig(num_cores=2, target_dram_reads=300)
+        ws_light = run_weighted_speedup("gobmk", light)   # low bandwidth
+        ws_heavy = run_weighted_speedup("stream", light)  # bandwidth hog
+        # The bandwidth-bound workload suffers more from sharing.
+        assert ws_heavy < ws_light + 0.3
+
+    def test_faster_memory_raises_ws_ratio_consistency(self):
+        config = SimConfig(num_cores=2, target_dram_reads=300)
+        base = run_weighted_speedup("leslie3d",
+                                    config.with_memory(MemoryKind.DDR3))
+        rld = run_weighted_speedup("leslie3d",
+                                   config.with_memory(MemoryKind.RLDRAM3))
+        # Both normalise per-config IPC_alone, so the values are
+        # comparable and should be same-ballpark.
+        assert 0.5 < rld / base < 2.0

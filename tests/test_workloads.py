@@ -1,0 +1,164 @@
+"""Benchmark profiles and the synthetic trace generator."""
+
+import statistics
+
+import pytest
+
+from repro.cpu.core import TraceRecord
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    HIGH_BANDWIDTH,
+    PROFILES,
+    SUITE_NPB,
+    SUITE_SPEC,
+    benchmark_names,
+    profile_for,
+)
+from repro.workloads.synthetic import (
+    CORE_ADDRESS_STRIDE,
+    TraceGenerator,
+    expected_critical_word,
+    generate_core_trace,
+    preferred_word,
+    preferred_word_for_global_line,
+    records_for_reads,
+    _word_lookup_table,
+)
+
+
+class TestProfiles:
+    def test_suite_size(self):
+        # 18 SPEC + GemsFDTD + 6 NPB + STREAM = 26 programs.
+        assert len(PROFILES) == 26
+        assert len(benchmark_names(SUITE_SPEC)) == 19
+        assert len(benchmark_names(SUITE_NPB)) == 6
+
+    def test_all_fields_sane(self):
+        for profile in PROFILES.values():
+            assert 0 <= profile.stream_fraction <= 1
+            assert profile.mean_gap > 0
+            assert profile.footprint_lines > 0
+            assert 0 <= profile.write_fraction < 1
+            assert abs(sum([profile.stream_fraction,
+                            profile.chase_fraction]) - 1.0) < 1e-9
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("nonexistent")
+
+    def test_high_bandwidth_group_is_intense(self):
+        heavy = [PROFILES[name].mean_gap for name in HIGH_BANDWIDTH]
+        light = [p.mean_gap for n, p in PROFILES.items()
+                 if n not in HIGH_BANDWIDTH]
+        assert max(heavy) < statistics.mean(light)
+
+    def test_validation_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", suite="spec2006", mean_gap=10,
+                             stream_fraction=1.5)
+
+    def test_estimated_misses_positive(self):
+        for profile in PROFILES.values():
+            assert profile.estimated_misses_per_record() > 0
+
+
+class TestWordTables:
+    def test_lookup_table_respects_weights(self):
+        table = _word_lookup_table({0: 3.0, 1: 1.0})
+        f0 = table.count(0) / len(table)
+        assert 0.70 < f0 < 0.80
+
+    def test_preferred_word_deterministic(self):
+        table = _word_lookup_table({w: 1.0 for w in range(8)})
+        assert [preferred_word(line, table) for line in range(100)] == \
+               [preferred_word(line, table) for line in range(100)]
+
+    def test_global_line_recovery_matches_generator(self):
+        profile = profile_for("mcf")
+        gen = TraceGenerator(profile, core_id=3)
+        lines_per_core = CORE_ADDRESS_STRIDE // 64
+        for local in (0, 17, 12345):
+            global_line = 3 * lines_per_core + local
+            assert (preferred_word_for_global_line(profile, global_line)
+                    == preferred_word(local, gen.word_table))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = TraceGenerator(profile_for("mcf"), 0, seed=1).records(500)
+        b = TraceGenerator(profile_for("mcf"), 0, seed=1).records(500)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = TraceGenerator(profile_for("mcf"), 0, seed=1).records(500)
+        b = TraceGenerator(profile_for("mcf"), 0, seed=2).records(500)
+        assert a != b
+
+    def test_cores_have_disjoint_address_spaces(self):
+        t0 = TraceGenerator(profile_for("mcf"), 0).records(300)
+        t1 = TraceGenerator(profile_for("mcf"), 1).records(300)
+        assert all(r.address < CORE_ADDRESS_STRIDE for r in t0)
+        assert all(CORE_ADDRESS_STRIDE <= r.address < 2 * CORE_ADDRESS_STRIDE
+                   for r in t1)
+
+    def test_addresses_within_footprint(self):
+        profile = profile_for("bzip2")
+        trace = TraceGenerator(profile, 0).records(2000)
+        limit = profile.footprint_lines * 64
+        assert all(r.address < limit for r in trace)
+
+    def test_gap_mean_approximates_profile(self):
+        profile = profile_for("leslie3d")
+        trace = TraceGenerator(profile, 0).records(4000)
+        mean = statistics.mean(r.gap for r in trace)
+        assert 0.7 * profile.mean_gap < mean < 1.3 * profile.mean_gap
+
+    def test_write_fraction_approximated(self):
+        profile = profile_for("stream")
+        trace = TraceGenerator(profile, 0).records(4000)
+        frac = sum(r.is_write for r in trace) / len(trace)
+        assert abs(frac - profile.write_fraction) < 0.05
+
+    def test_streaming_profile_biases_word0(self):
+        # First touches of lines in a stride-8 stream are word 0.
+        profile = profile_for("leslie3d")
+        trace = TraceGenerator(profile, 0).records(4000)
+        words = [(r.address // 8) % 8 for r in trace]
+        assert words.count(0) / len(words) > 0.7
+
+    def test_chase_profile_spreads_words(self):
+        profile = profile_for("mcf")
+        trace = TraceGenerator(profile, 0).records(4000)
+        words = [(r.address // 8) % 8 for r in trace]
+        assert words.count(0) / len(words) < 0.6
+        assert len(set(words)) == 8
+
+    def test_second_touches_hit_same_line(self):
+        profile = profile_for("omnetpp")
+        trace = TraceGenerator(profile, 0, seed=5).records(6000)
+        lines = [r.address // 64 for r in trace]
+        repeats = sum(1 for i, line in enumerate(lines)
+                      if line in lines[max(0, i - 8):i])
+        assert repeats > 20  # scheduled second touches land nearby
+
+
+class TestSizing:
+    def test_records_for_reads_scales(self):
+        profile = profile_for("leslie3d")
+        assert records_for_reads(profile, 2000) > \
+            records_for_reads(profile, 200)
+
+    def test_generate_core_trace_shape(self):
+        trace = generate_core_trace(profile_for("mcf"), 0, 100)
+        assert all(isinstance(r, TraceRecord) for r in trace)
+        assert len(trace) >= 64
+
+
+class TestExpectedCriticalWord:
+    def test_stream_heavy_yields_word0(self):
+        import random
+        profile = profile_for("stream")
+        rng = random.Random(0)
+        words = [expected_critical_word(profile, line, rng)
+                 for line in range(500)]
+        assert words.count(0) / len(words) > 0.9
