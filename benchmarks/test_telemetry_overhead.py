@@ -1,0 +1,59 @@
+"""Telemetry overhead bench: null sink vs fully instrumented runs.
+
+Reports wall time for the same deterministic run in three modes —
+un-instrumented (null-sink defaults), metrics-only, and metrics+trace —
+so regressions in the hot-path instrumentation show up as a ratio.
+The hard <=5% null-sink bound lives in tests/test_telemetry.py; this
+bench is for watching the *instrumented* cost, which is allowed to be
+larger (it does real work) but should stay within a small factor.
+"""
+
+import pytest
+
+from repro.sim.config import MemoryKind, SimConfig
+from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
+from repro.telemetry import TelemetrySession
+from repro.workloads.profiles import profile_for
+
+BENCH = "mcf"
+READS = 1500
+
+
+def _run(telemetry=None):
+    config = SimConfig(memory=MemoryKind.RL, target_dram_reads=READS)
+    profile = profile_for(BENCH)
+    traces = make_traces(profile, config)
+    system = SimulationSystem(config, traces, profile=profile,
+                              telemetry=telemetry)
+    prewarm_l2(system, profile)
+    return system.run()
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_null_sink_run(benchmark):
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert result.telemetry is None
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_metrics_only_run(benchmark):
+    session = TelemetrySession(trace_enabled=False)
+
+    def run():
+        return _run(session.begin_run(BENCH, "rl"))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.telemetry is not None
+    assert result.telemetry["critical_latency"]["count"] > 0
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_metrics_and_trace_run(benchmark):
+    session = TelemetrySession(trace_enabled=True)
+
+    def run():
+        return _run(session.begin_run(BENCH, "rl"))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.telemetry is not None
+    assert session._tracers and session._tracers[-1].events

@@ -6,8 +6,16 @@ Usage::
     repro-experiment fig6                 # regenerate Figure 6
     repro-experiment all                  # everything (slow)
     repro-experiment fig6 --reads 20000 --benchmarks leslie3d,mcf
+    repro-experiment fig6 --json          # tables as structured JSON
+    repro-experiment fig6 --reads 500 --stats-json out.json \
+        --trace-out trace.json            # telemetry artefacts
 
 Results print as text tables; ``--output`` appends them to a file.
+``--stats-json``/``--stats-csv`` dump the full metrics registry of every
+simulated run (per-channel latency histograms, per-bank counters, run
+manifest); ``--trace-out`` writes a Chrome ``trace_event`` JSON viewable
+in chrome://tracing or https://ui.perfetto.dev. Telemetry options force
+real simulations (the result cache is bypassed for reads).
 """
 
 from __future__ import annotations
@@ -19,6 +27,12 @@ from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.runner import ExperimentConfig, default_config
+from repro.telemetry import (
+    TelemetrySession,
+    activate,
+    deactivate,
+    table_to_dict,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache directory, or 'off'")
     parser.add_argument("--output", default=None,
                         help="append formatted tables to this file")
+    parser.add_argument("--json", action="store_true",
+                        help="emit tables as structured JSON instead of text")
+    parser.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="write per-run metrics registry + manifest JSON")
+    parser.add_argument("--stats-csv", default=None, metavar="PATH",
+                        help="write per-run metrics as flat CSV")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome trace_event JSON of all requests")
     return parser
 
 
@@ -53,6 +75,10 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    return bool(args.stats_json or args.stats_csv or args.trace_out)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
@@ -66,15 +92,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
     config = make_config(args)
-    for key in keys:
-        start = time.time()
-        table = ALL_EXPERIMENTS[key](config)
-        text = table.format()
-        print(text)
-        print(f"[{key} took {time.time() - start:.1f}s]\n")
-        if args.output:
-            with open(args.output, "a") as handle:
-                handle.write(text + "\n\n")
+
+    session: Optional[TelemetrySession] = None
+    if _telemetry_wanted(args):
+        session = activate(TelemetrySession(
+            trace_enabled=bool(args.trace_out)))
+
+    tables = []
+    try:
+        for key in keys:
+            start = time.time()
+            table = ALL_EXPERIMENTS[key](config)
+            tables.append(table)
+            if args.json:
+                import json as _json
+                text = _json.dumps(table_to_dict(table), indent=1,
+                                   default=str)
+            else:
+                text = table.format()
+            print(text)
+            if not args.json:
+                print(f"[{key} took {time.time() - start:.1f}s]\n")
+            if args.output:
+                with open(args.output, "a") as handle:
+                    handle.write(text + "\n\n")
+    finally:
+        if session is not None:
+            deactivate()
+
+    if session is not None:
+        manifest_config = {
+            "experiments": keys,
+            "target_dram_reads": config.target_dram_reads,
+            "benchmarks": list(config.suite()),
+        }
+        if args.stats_json:
+            session.export_stats(args.stats_json, config=manifest_config,
+                                 seed=config.seed, argv=argv)
+            print(f"wrote stats to {args.stats_json}", file=sys.stderr)
+        if args.stats_csv:
+            session.export_csv(args.stats_csv)
+            print(f"wrote stats CSV to {args.stats_csv}", file=sys.stderr)
+        if args.trace_out:
+            session.export_trace(args.trace_out)
+            print(f"wrote trace to {args.trace_out} "
+                  "(open in chrome://tracing or ui.perfetto.dev)",
+                  file=sys.stderr)
     return 0
 
 

@@ -286,10 +286,13 @@ class CriticalWordMemory(MemorySystem):
             state["woken"] = True
             if not is_prefetch:
                 self.stats.sum_critical_latency += t - start
+                self._h_critical.observe(t - start)
                 if from_fast:
                     self.stats.critical_served_fast += 1
+                    self._c_fast.inc()
                 else:
                     self.stats.critical_served_slow += 1
+                    self._c_slow.inc()
             on_critical(t)
 
         def check_complete() -> None:
@@ -300,6 +303,7 @@ class CriticalWordMemory(MemorySystem):
                 # Parity deferral: data released only with the full line.
                 wake(t, from_fast=False)
             self.stats.sum_fill_latency += t - start
+            self._h_fill.observe(t - start)
             on_complete(t)
 
         def fast_done(t: int) -> None:
@@ -329,8 +333,10 @@ class CriticalWordMemory(MemorySystem):
         if not fast_mc.enqueue(fast_req) or not bulk_mc.enqueue(bulk_req):
             raise RuntimeError("CWF enqueue failed after capacity check")
         self.stats.reads += 1
+        self._c_reads.inc()
         if not is_prefetch:
             self.stats.demand_reads += 1
+            self._c_demand_reads.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -356,11 +362,15 @@ class CriticalWordMemory(MemorySystem):
         if not bulk_mc.enqueue(bulk_req) or not fast_mc.enqueue(fast_req):
             raise RuntimeError("CWF write enqueue failed after capacity check")
         self.stats.writes += 1
+        self._c_writes.inc()
         return True
 
     # ------------------------------------------------------------------
     # Roll-ups
     # ------------------------------------------------------------------
+
+    def telemetry_controllers(self) -> List[MemoryController]:
+        return self.bulk_controllers + self.fast_controllers
 
     def finalize(self) -> None:
         for mc in self.bulk_controllers + self.fast_controllers:

@@ -129,14 +129,18 @@ class PagePlacementMemory(MemorySystem):
         def critical_cb(t: int) -> None:
             if not is_prefetch:
                 self.stats.sum_critical_latency += t - start
+                self._h_critical.observe(t - start)
                 if fast:
                     self.stats.critical_served_fast += 1
+                    self._c_fast.inc()
                 else:
                     self.stats.critical_served_slow += 1
+                    self._c_slow.inc()
             on_critical(t)
 
         def complete_cb(t: int) -> None:
             self.stats.sum_fill_latency += t - start
+            self._h_fill.observe(t - start)
             on_complete(t)
 
         request = MemoryRequest(
@@ -147,8 +151,10 @@ class PagePlacementMemory(MemorySystem):
         if not controller.enqueue(request):
             return False
         self.stats.reads += 1
+        self._c_reads.inc()
         if not is_prefetch:
             self.stats.demand_reads += 1
+            self._c_demand_reads.inc()
         return True
 
     def issue_write(self, line_address: int, critical_word_tag: int,
@@ -160,6 +166,7 @@ class PagePlacementMemory(MemorySystem):
         if not controller.enqueue(request):
             return False
         self.stats.writes += 1
+        self._c_writes.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -167,6 +174,9 @@ class PagePlacementMemory(MemorySystem):
     @property
     def _all_controllers(self) -> List[MemoryController]:
         return self.lpddr_controllers + [self.rldram_controller]
+
+    def telemetry_controllers(self) -> List[MemoryController]:
+        return self._all_controllers
 
     def finalize(self) -> None:
         for mc in self._all_controllers:

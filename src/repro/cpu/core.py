@@ -101,6 +101,17 @@ class Core:
             return 0.0
         return self.index / self.finish_time
 
+    def telemetry_items(self) -> dict:
+        """End-of-run counters exported as ``core<i>.*`` gauges."""
+        return {
+            "instructions": self.index,
+            "loads_issued": self.loads_issued,
+            "stores_issued": self.stores_issued,
+            "rob_stall_retries": self.stall_retries,
+            "finish_cycle": self.finish_time or 0,
+            "ipc": self.ipc(),
+        }
+
     def start(self) -> None:
         """Kick off the core at the current event time."""
         self.advance()

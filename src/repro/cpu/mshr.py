@@ -63,6 +63,16 @@ class MSHRFile:
     def full(self) -> bool:
         return len(self._entries) >= self.capacity
 
+    def telemetry_items(self) -> dict:
+        """End-of-run counters exported as ``mshr.*`` gauges."""
+        return {
+            "capacity": self.capacity,
+            "occupancy_at_end": len(self._entries),
+            "allocations": self.allocations,
+            "merges": self.merges,
+            "stalls": self.stalls,
+        }
+
     def get(self, line_address: int) -> Optional[MSHREntry]:
         return self._entries.get(line_address)
 

@@ -51,6 +51,15 @@ class Bank:
     def is_row_hit(self, row: int) -> bool:
         return self.state is BankState.ACTIVE and self.open_row == row
 
+    def telemetry_items(self) -> dict:
+        """End-of-run counters for the telemetry exporter."""
+        return {
+            "act_count": self.activate_count,
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+            "row_hit_count": self.row_hit_count,
+        }
+
     # --- DDR-style command application -------------------------------
 
     def can_activate(self, now: int) -> bool:

@@ -136,3 +136,19 @@ class Channel:
         if not self.data_buses:
             return 0.0
         return sum(b.utilization(elapsed) for b in self.data_buses) / len(self.data_buses)
+
+    def export_telemetry(self, registry, namespace: str,
+                         elapsed_cycles: int) -> None:
+        """Publish per-(sub-)bus occupancy gauges under ``namespace``."""
+        registry.gauge(f"{namespace}.cmd_busy_cycles").set(
+            self.cmd_bus.stats.cmd_busy_cycles)
+        for sub, bus in enumerate(self.data_buses):
+            bns = f"{namespace}.bus{sub}"
+            registry.gauge(f"{bns}.data_busy_cycles").set(
+                bus.stats.data_busy_cycles)
+            registry.gauge(f"{bns}.reads_transferred").set(
+                bus.stats.reads_transferred)
+            registry.gauge(f"{bns}.writes_transferred").set(
+                bus.stats.writes_transferred)
+            registry.gauge(f"{bns}.utilization").set(
+                bus.utilization(elapsed_cycles))

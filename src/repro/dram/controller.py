@@ -33,6 +33,12 @@ from repro.dram.scheduler import (
     select_row_hit,
 )
 from repro.dram.timing import TimingSet
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+)
+from repro.telemetry.trace import NULL_TRACER
 from repro.util.events import EventQueue
 
 FAR_FUTURE = 1 << 62
@@ -113,6 +119,60 @@ class MemoryController:
             for i in range(num_ranks)
         ]
         self._refresh_pending = [False] * num_ranks
+        # Telemetry handles default to the shared null sink; an
+        # un-instrumented run pays only the no-op calls.
+        self.registry: Optional[MetricsRegistry] = None
+        self.tracer = NULL_TRACER
+        self._h_queue_lat = NULL_HISTOGRAM
+        self._h_critical_lat = NULL_HISTOGRAM
+        self._h_total_lat = NULL_HISTOGRAM
+        self._h_occupancy = NULL_HISTOGRAM
+        self._c_refreshes = NULL_COUNTER
+        self._c_promotions = NULL_COUNTER
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def attach_telemetry(self, registry: MetricsRegistry,
+                         tracer=None) -> None:
+        """Bind hot-path metric handles under ``dram.<name>.*``."""
+        ns = f"dram.{self.name}"
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._h_queue_lat = registry.histogram(f"{ns}.queue_latency_cycles")
+        self._h_critical_lat = registry.histogram(
+            f"{ns}.critical_latency_cycles")
+        self._h_total_lat = registry.histogram(f"{ns}.total_latency_cycles")
+        self._h_occupancy = registry.histogram(f"{ns}.read_queue_occupancy")
+        self._c_refreshes = registry.counter(f"{ns}.refreshes")
+        self._c_promotions = registry.counter(f"{ns}.prefetch_promotions")
+
+    def export_telemetry(self, elapsed_cycles: int) -> None:
+        """Publish end-of-run structural counters (per rank, per bank).
+
+        These are read off the existing bank/rank statistics rather than
+        incremented on the hot path, so the per-bank breakdown costs
+        nothing during simulation.
+        """
+        if self.registry is None:
+            return
+        registry = self.registry
+        ns = f"dram.{self.name}"
+        registry.gauge(f"{ns}.reads_done").set(self.stats.reads_done)
+        registry.gauge(f"{ns}.writes_done").set(self.stats.writes_done)
+        registry.gauge(f"{ns}.prefetches_done").set(self.stats.prefetches_done)
+        registry.gauge(f"{ns}.avg_queue_latency").set(
+            self.stats.avg_queue_latency)
+        self.channel.export_telemetry(registry, ns, elapsed_cycles)
+        for rank in self.ranks:
+            rns = f"{ns}.rank{rank.index}"
+            for key, value in rank.telemetry_items(self.events.now).items():
+                registry.gauge(f"{rns}.{key}").set(value)
+            for bank in rank.banks:
+                bns = f"{rns}.bank{bank.index}"
+                for key, value in bank.telemetry_items().items():
+                    registry.gauge(f"{bns}.{key}").set(value)
 
     # ------------------------------------------------------------------
     # Public interface
@@ -168,12 +228,15 @@ class MemoryController:
         self._tick_event = None
         now = self.events.now
         self._service_refresh(now)
-        promote_aged_prefetches(self.read_queue, now,
-                                self.config.prefetch_age_threshold)
+        promoted = promote_aged_prefetches(self.read_queue, now,
+                                           self.config.prefetch_age_threshold)
+        if promoted:
+            self._c_promotions.inc(promoted)
         self._update_drain_mode()
 
         self.stats.read_queue_occupancy_samples += 1
         self.stats.sum_read_queue_occupancy += len(self.read_queue)
+        self._h_occupancy.observe(len(self.read_queue))
 
         issued_any = False
         for _ in range(self.channel.cmd_bus.slots_per_cycle):
@@ -421,11 +484,16 @@ class MemoryController:
             self.stats.sum_core_latency += req.core_latency
             self.stats.sum_total_latency += req.total_latency
             self.stats.sum_critical_latency += req.critical_word_time - req.arrival_time
+            self._h_queue_lat.observe(req.queue_latency)
+            self._h_critical_lat.observe(
+                req.critical_word_time - req.arrival_time)
+            self._h_total_lat.observe(req.total_latency)
             if req.on_critical_word is not None:
                 self.events.schedule(req.critical_word_time,
                                      lambda r=req: r.on_critical_word(r.critical_word_time))
         else:
             self.stats.writes_done += 1
+        self.tracer.record_request(req, self.name)
         if req.on_complete is not None:
             self.events.schedule(end, lambda r=req: r.on_complete(r.completion_time))
 
@@ -460,6 +528,7 @@ class MemoryController:
                                         now + self.timing.t_refi // 2)
             self._refresh_pending[i] = False
             self.stats.refreshes += 1
+            self._c_refreshes.inc()
 
     def _try_powerdown(self, now: int) -> None:
         if not self.config.aggressive_powerdown:

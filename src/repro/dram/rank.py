@@ -160,6 +160,20 @@ class Rank:
     def bank(self, index: int) -> Bank:
         return self.banks[index]
 
+    def telemetry_items(self, now: int) -> dict:
+        """End-of-run counters and power-state residency for export."""
+        tally = self.finalize_tally(now)
+        return {
+            "act_count": self.activate_count,
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+            "power_down_entries": self.power_down_entries,
+            "cycles_active": tally.active,
+            "cycles_standby": tally.standby,
+            "cycles_power_down": tally.power_down,
+            "cycles_self_refresh": tally.self_refresh,
+        }
+
 
 def open_row_of(rank: Rank, bank: int) -> Optional[int]:
     """Convenience: the open row in ``bank`` or None."""

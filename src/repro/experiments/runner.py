@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.config import MemoryKind, SimConfig
 from repro.sim.system import SimResult, run_benchmark
+from repro.telemetry.session import active_session
 from repro.workloads.profiles import benchmark_names
 
 DEFAULT_READS = 2000
@@ -68,17 +69,26 @@ class ResultCache:
         return self.directory / f"{digest}.json"
 
     def get(self, key: str) -> Optional[SimResult]:
+        """Recall a cached result; any corruption is treated as a miss.
+
+        Truncated files, non-JSON bytes, non-dict payloads, and schema
+        drift (unexpected or missing fields) all return None — the
+        caller re-runs and :meth:`put` rewrites the entry.
+        """
         path = self._path(key)
         if path is None or not path.exists():
             return None
         try:
             data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
-        if data.get("__key__") != key:
+        if not isinstance(data, dict) or data.get("__key__") != key:
             return None
         data.pop("__key__", None)
-        return SimResult(**data)
+        try:
+            return SimResult(**data)
+        except (TypeError, ValueError):
+            return None
 
     def put(self, key: str, result: SimResult) -> None:
         path = self._path(key)
@@ -111,9 +121,13 @@ def run_cached(benchmark: str, memory: MemoryKind,
     key = "|".join(["v5", benchmark, memory.value, variant,
                     str(config.target_dram_reads), str(config.seed)])
     cache = _cache_for(config)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    # With an active telemetry session a recalled result would have no
+    # metrics or trace spans to contribute, so force a real run (the
+    # fresh result still refreshes the cache for later plain runs).
+    if active_session() is None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     if runner is not None:
         result = runner()
     else:

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.dram.power import ChipActivity
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+)
+from repro.telemetry.trace import NULL_TRACER
 
 
 @dataclass
@@ -53,6 +59,60 @@ class MemorySystem(abc.ABC):
     """
 
     stats: MemorySystemStats
+
+    # Telemetry handles default to the shared null sink (class
+    # attributes, so subclasses need no __init__ cooperation); an
+    # un-instrumented run pays only no-op calls on the hot path.
+    telemetry_registry: Optional[MetricsRegistry] = None
+    tracer = NULL_TRACER
+    _h_critical = NULL_HISTOGRAM     # arrival -> critical word (demands)
+    _h_fill = NULL_HISTOGRAM         # arrival -> full line (all reads)
+    _c_demand_reads = NULL_COUNTER
+    _c_reads = NULL_COUNTER
+    _c_writes = NULL_COUNTER
+    _c_fast = NULL_COUNTER           # critical word from the fast DIMM
+    _c_slow = NULL_COUNTER
+
+    def telemetry_controllers(self):
+        """Memory controllers to instrument; overridden by subclasses."""
+        return []
+
+    def attach_telemetry(self, registry: MetricsRegistry,
+                         tracer=None) -> None:
+        """Bind this memory system (and its controllers) to a registry."""
+        self.telemetry_registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._h_critical = registry.histogram("memsys.critical_latency_cycles")
+        self._h_fill = registry.histogram("memsys.fill_latency_cycles")
+        self._c_demand_reads = registry.counter("memsys.demand_reads")
+        self._c_reads = registry.counter("memsys.reads")
+        self._c_writes = registry.counter("memsys.writes")
+        self._c_fast = registry.counter("memsys.critical_served_fast")
+        self._c_slow = registry.counter("memsys.critical_served_slow")
+        for controller in self.telemetry_controllers():
+            controller.attach_telemetry(registry, self.tracer)
+
+    def export_telemetry(self, elapsed_cycles: int) -> None:
+        """Publish end-of-run structural metrics (per channel/rank/bank)."""
+        if self.telemetry_registry is None:
+            return
+        registry = self.telemetry_registry
+        registry.gauge("memsys.bus_utilization").set(
+            self.bus_utilization(elapsed_cycles))
+        registry.gauge("memsys.fast_service_fraction").set(
+            self.stats.fast_service_fraction)
+        for controller in self.telemetry_controllers():
+            controller.export_telemetry(elapsed_cycles)
+
+    def derived_avg_critical_latency(self) -> float:
+        """``avg_critical_latency`` recomputed purely from the registry.
+
+        Must agree with :attr:`MemorySystemStats.avg_critical_latency`
+        (the histogram sums the same observations; the demand-read
+        counter increments where ``stats.demand_reads`` does).
+        """
+        demands = self._c_demand_reads.value
+        return self._h_critical.sum / demands if demands else 0.0
 
     @abc.abstractmethod
     def issue_read(self, line_address: int, critical_word: int, core_id: int,

@@ -143,6 +143,14 @@ CLAIMS = {
 }
 
 
+def collect_tables(config: Optional[ExperimentConfig] = None,
+                   experiments: Optional[List[str]] = None) -> List[ExperimentTable]:
+    """Run (or recall) the listed experiments and return their tables."""
+    config = config or default_config()
+    keys = experiments or list(ALL_EXPERIMENTS)
+    return [ALL_EXPERIMENTS[key](config) for key in keys]
+
+
 def render_report(config: Optional[ExperimentConfig] = None,
                   experiments: Optional[List[str]] = None) -> str:
     config = config or default_config()
@@ -187,6 +195,9 @@ def main(argv=None) -> int:
     parser.add_argument("--reads", type=int, default=None)
     parser.add_argument("--experiments", default=None,
                         help="comma-separated subset of experiment ids")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the tables as structured JSON "
+                             "with a run manifest")
     args = parser.parse_args(argv)
     config = default_config()
     if args.reads is not None:
@@ -197,6 +208,16 @@ def main(argv=None) -> int:
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output}")
+    if args.json:
+        from repro.telemetry import run_manifest, tables_to_json
+        tables = collect_tables(config, keys)  # cached: runs recalled
+        manifest = run_manifest(
+            config={"target_dram_reads": config.target_dram_reads,
+                    "benchmarks": list(config.suite())},
+            seed=config.seed, argv=argv)
+        with open(args.json, "w") as handle:
+            handle.write(tables_to_json(tables, manifest))
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -19,6 +19,8 @@ from repro.cpu.uncore import Uncore
 from repro.dram.power import ChipPowerBreakdown, default_power_model
 from repro.memsys.base import MemorySystem
 from repro.sim.config import MemoryKind, SimConfig, build_memory
+from repro.telemetry.sampler import Sampler
+from repro.telemetry.session import RunTelemetry, active_session
 from repro.util.events import EventQueue
 from repro.workloads.profiles import BenchmarkProfile, profile_for
 from repro.workloads.synthetic import generate_core_trace
@@ -49,6 +51,9 @@ class SimResult:
     word0_fraction: float = 0.0
     repeat_fraction: float = 0.0
     critical_distribution: List[float] = field(default_factory=list)
+    # Compact registry-derived summary (percentiles etc.); populated only
+    # when the run was executed with telemetry attached.
+    telemetry: Optional[Dict] = None
 
     @property
     def throughput(self) -> float:
@@ -71,7 +76,8 @@ class SimulationSystem:
     def __init__(self, config: SimConfig,
                  traces: Sequence[List[TraceRecord]],
                  memory: Optional[MemorySystem] = None,
-                 profile: Optional[BenchmarkProfile] = None) -> None:
+                 profile: Optional[BenchmarkProfile] = None,
+                 telemetry: Optional[RunTelemetry] = None) -> None:
         self.config = config
         self.events = EventQueue()
         self.memory = memory if memory is not None else build_memory(
@@ -86,6 +92,31 @@ class SimulationSystem:
                  on_finish=self._core_finished)
             for i, trace in enumerate(traces)
         ]
+        self.telemetry = telemetry
+        self.sampler: Optional[Sampler] = None
+        if telemetry is not None:
+            self._attach_telemetry(telemetry)
+
+    def _attach_telemetry(self, telemetry: RunTelemetry) -> None:
+        """Instrument the memory hierarchy and start periodic sampling."""
+        self.memory.attach_telemetry(telemetry.registry, telemetry.tracer)
+        self.sampler = Sampler(self.events, telemetry.registry,
+                               telemetry.sample_interval)
+        for mc in self.memory.telemetry_controllers():
+            self.sampler.add_probe(
+                f"dram.{mc.name}.read_queue_occupancy",
+                lambda m=mc: len(m.read_queue))
+            self.sampler.add_probe(
+                f"dram.{mc.name}.write_queue_occupancy",
+                lambda m=mc: len(m.write_queue))
+            # Percent scale so the integer-bucketed histogram resolves it.
+            self.sampler.add_probe(
+                f"dram.{mc.name}.bus_utilization_pct",
+                lambda m=mc: 100.0 * m.channel.utilization(
+                    max(1, self.events.now)))
+        self.sampler.add_probe("mshr.occupancy",
+                               lambda: len(self.uncore.mshrs))
+        self.sampler.start()
 
     def _core_finished(self, core: Core) -> None:
         self._finished += 1
@@ -114,7 +145,7 @@ class SimulationSystem:
         stats = self.memory.stats
         queue_lat = getattr(self.memory, "avg_queue_latency", lambda: 0.0)()
         core_lat = getattr(self.memory, "avg_core_latency", lambda: 0.0)()
-        return SimResult(
+        result = SimResult(
             benchmark="",
             memory=self.config.memory.value,
             num_cores=len(self.cores),
@@ -137,6 +168,43 @@ class SimulationSystem:
             repeat_fraction=self.profiler.repeat_fraction,
             critical_distribution=self.profiler.distribution(),
         )
+        if self.telemetry is not None:
+            self._export_telemetry(elapsed, result)
+        return result
+
+    def _export_telemetry(self, elapsed: int, result: SimResult) -> None:
+        """Flush end-of-run metrics into the run's registry."""
+        registry = self.telemetry.registry
+        if self.sampler is not None:
+            self.sampler.stop()
+            registry.gauge("sample.samples_taken").set(
+                self.sampler.samples_taken)
+        self.memory.export_telemetry(elapsed)
+        registry.gauge("sim.elapsed_cycles").set(elapsed)
+        registry.gauge("sim.instructions").set(result.instructions)
+        registry.gauge("sim.dram_reads").set(self.uncore.dram_reads)
+        registry.gauge("sim.dram_writes").set(self.uncore.dram_writes)
+        registry.gauge("sim.prefetch_drops").set(self.uncore.prefetch_drops)
+        registry.gauge("sim.l2_hit_rate").set(self.uncore.l2.hit_rate)
+        for key, value in self.uncore.mshrs.telemetry_items().items():
+            registry.gauge(f"mshr.{key}").set(value)
+        for core in self.cores:
+            for key, value in core.telemetry_items().items():
+                registry.gauge(f"core{core.core_id}.{key}").set(value)
+        # Compact summary carried on the SimResult. The derived average
+        # must agree with the legacy field (same observation stream).
+        critical = registry.get("memsys.critical_latency_cycles")
+        fill = registry.get("memsys.fill_latency_cycles")
+        result.telemetry = {
+            "avg_critical_latency": self.memory.derived_avg_critical_latency(),
+            "critical_latency": critical.snapshot() if critical else None,
+            "fill_latency": fill.snapshot() if fill else None,
+            "queue_latency_by_channel": {
+                mc.name: registry.get(
+                    f"dram.{mc.name}.queue_latency_cycles").snapshot()
+                for mc in self.memory.telemetry_controllers()
+            },
+        }
 
     def _memory_power(self, elapsed: int):
         """Run every chip's activity through the Micron-style model."""
@@ -189,16 +257,40 @@ def prewarm_l2(system: SimulationSystem, profile: BenchmarkProfile) -> None:
 
 def run_benchmark(benchmark: str, config: SimConfig,
                   traces: Optional[Sequence[List[TraceRecord]]] = None,
-                  warm: bool = True) -> SimResult:
-    """Generate traces for ``benchmark`` (unless given) and run once."""
+                  warm: bool = True,
+                  telemetry: Optional[RunTelemetry] = None) -> SimResult:
+    """Generate traces for ``benchmark`` (unless given) and run once.
+
+    When a telemetry session is active (see
+    :mod:`repro.telemetry.session`) and no explicit ``telemetry`` is
+    given, the run is automatically registered with the session.
+    """
     profile = profile_for(benchmark)
     if traces is None:
         traces = make_traces(profile, config)
-    system = SimulationSystem(config, traces, profile=profile)
+    session = None
+    if telemetry is None:
+        session = active_session()
+        if session is not None:
+            telemetry = session.begin_run(benchmark, config.memory.value)
+    system = SimulationSystem(config, traces, profile=profile,
+                              telemetry=telemetry)
     if warm:
         prewarm_l2(system, profile)
     result = system.run()
     result.benchmark = benchmark
+    if session is not None and telemetry is not None:
+        session.end_run(telemetry, summary={
+            "elapsed_cycles": result.elapsed_cycles,
+            "instructions": result.instructions,
+            "throughput": result.throughput,
+            "dram_reads": result.dram_reads,
+            "avg_critical_latency": result.avg_critical_latency,
+            "avg_fill_latency": result.avg_fill_latency,
+            "avg_queue_latency": result.avg_queue_latency,
+            "bus_utilization": result.bus_utilization,
+            "seed": config.seed,
+        })
     return result
 
 

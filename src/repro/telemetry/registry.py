@@ -1,0 +1,245 @@
+"""Unified metrics registry: counters, gauges, and log2 histograms.
+
+Metrics are hierarchically named with dot-separated components
+(``dram.bulk-lpddr2-ch0.queue_latency_cycles``,
+``core2.rob_stall_retries``) so exports can be grouped per channel,
+bank, or core without any registry-side tree structure.
+
+The hot path is designed around a **null sink**: every metric type has
+a null twin whose mutators are no-ops, and :data:`NULL_REGISTRY` hands
+those twins out from its factory methods. Simulator components keep
+metric handles as plain attributes defaulting to the null singletons,
+so an un-instrumented run pays only an attribute lookup and an empty
+method call per event — no branching, no isinstance checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# 64 buckets cover every int a simulation can produce: bucket i holds
+# values whose bit_length is i (i.e. [2**(i-1), 2**i - 1]), bucket 0
+# holds zero and negatives (clamped).
+HISTOGRAM_BUCKETS = 64
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class Metric:
+    """Base class: a named datum in a registry."""
+
+    kind = "metric"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge(Metric):
+    """Last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram(Metric):
+    """Fixed-bucket log2 histogram of non-negative integer samples.
+
+    Bucket *i* collects samples with ``bit_length() == i``; bucket 0
+    collects zeros. Percentiles interpolate linearly inside the bucket
+    that crosses the requested rank, so p50/p95/p99 are approximate
+    (within a factor-of-2 bucket) while ``mean``/``sum``/``count``/
+    ``min``/``max`` are exact.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.buckets: List[int] = [0] * HISTOGRAM_BUCKETS
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        idx = v.bit_length()
+        if idx >= HISTOGRAM_BUCKETS:
+            idx = HISTOGRAM_BUCKETS - 1
+        self.buckets[idx] += 1
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @staticmethod
+    def bucket_bounds(index: int) -> Tuple[int, int]:
+        """Inclusive [lo, hi] value range of bucket ``index``."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0 < p <= 100)."""
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if seen + n >= rank:
+                lo, hi = self.bucket_bounds(idx)
+                lo = max(lo, self.min or lo)
+                hi = min(hi, self.max if self.max is not None else hi)
+                if n == 1 or hi <= lo:
+                    return float(min(hi, self.max or hi))
+                # Linear interpolation within the crossing bucket.
+                frac = (rank - seen) / n
+                return lo + frac * (hi - lo)
+            seen += n
+        return float(self.max or 0)
+
+    def snapshot(self) -> dict:
+        out = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+        }
+        for p in _PERCENTILES:
+            out[f"p{p:g}"] = self.percentile(p)
+        # Sparse bucket encoding: {bit_length: count}.
+        out["buckets"] = {str(i): n for i, n in enumerate(self.buckets) if n}
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Null sink
+# ---------------------------------------------------------------------------
+
+class NullCounter(Counter):
+    def inc(self, n: int = 1) -> None:  # noqa: D102 - no-op by design
+        pass
+
+
+class NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    def observe(self, value: int) -> None:
+        pass
+
+
+NULL_COUNTER = NullCounter("null")
+NULL_GAUGE = NullGauge("null")
+NULL_HISTOGRAM = NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Flat namespace of metrics, created on first use.
+
+    Asking twice for the same name and type returns the same object;
+    asking for an existing name with a *different* type raises, which
+    catches accidental collisions between components.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, requested {cls.kind}")
+            return metric
+        metric = cls(name)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def items(self, prefix: str = "") -> Iterable[Tuple[str, Metric]]:
+        for name in self.names(prefix):
+            yield name, self._metrics[name]
+
+    def snapshot(self, prefix: str = "") -> Dict[str, dict]:
+        """Machine-readable dump of every metric under ``prefix``."""
+        return {name: metric.snapshot() for name, metric in self.items(prefix)}
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry twin whose factories return shared no-op metrics."""
+
+    def counter(self, name: str) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()

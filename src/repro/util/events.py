@@ -19,10 +19,19 @@ class Event:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning queue while the event is pending; cleared on execution so a
+    # late cancel() cannot corrupt the queue's live-event count.
+    _queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                           repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None
 
 
 class EventQueue:
@@ -31,17 +40,20 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
+        self._live = 0  # pending non-cancelled events (O(1) __len__)
         self.now = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def schedule(self, time: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` to run at absolute ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time}, now is {self.now}")
-        event = Event(time=time, seq=self._seq, callback=callback)
+        event = Event(time=time, seq=self._seq, callback=callback,
+                      _queue=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -61,6 +73,8 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._queue = None
             self.now = event.time
             event.callback()
             return True

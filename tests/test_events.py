@@ -78,6 +78,40 @@ def test_len_counts_live_events():
     assert len(q) == 1
 
 
+def test_len_is_exact_through_mixed_operations():
+    q = EventQueue()
+    events = [q.schedule(t, lambda: None) for t in range(10)]
+    assert len(q) == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert len(q) == 8
+    q.step()
+    assert len(q) == 7
+    q.run()
+    assert len(q) == 0
+
+
+def test_double_cancel_does_not_corrupt_count():
+    q = EventQueue()
+    event = q.schedule(5, lambda: None)
+    q.schedule(6, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert len(q) == 1
+
+
+def test_cancel_after_execution_is_harmless():
+    q = EventQueue()
+    event = q.schedule(5, lambda: None)
+    q.schedule(6, lambda: None)
+    q.step()            # runs the t=5 event
+    assert len(q) == 1
+    event.cancel()      # too late; must not decrement the live count
+    assert len(q) == 1
+    assert q.step()
+    assert len(q) == 0
+
+
 def test_events_scheduled_during_execution():
     q = EventQueue()
     log = []
