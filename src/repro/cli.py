@@ -4,13 +4,23 @@ Usage::
 
     repro-experiment list
     repro-experiment fig6                 # regenerate Figure 6
+    repro-experiment fig6,fig7,fig8       # several (shared runs dedupe)
     repro-experiment all                  # everything (slow)
+    repro-experiment all --jobs 4         # fan runs out over 4 processes
     repro-experiment fig6 --reads 20000 --benchmarks leslie3d,mcf
     repro-experiment fig6 --json          # tables as structured JSON
     repro-experiment fig6 --reads 500 --stats-json out.json \
         --trace-out trace.json            # telemetry artefacts
 
 Results print as text tables; ``--output`` appends them to a file.
+Before any table is built, the requested experiments' declarative
+``RunSpec`` lists are merged and deduped, so runs shared across figures
+(every figure needs the DDR3 baseline) simulate exactly once.
+``--jobs N`` (or ``REPRO_JOBS``) schedules those runs over N worker
+processes — ``--jobs 0`` means one per CPU, ``--jobs 1`` (default) is
+fully deterministic in-process execution; both modes emit byte-identical
+tables for the same seed. Per-spec progress and timing go to stderr;
+``--timings-json`` writes them as JSON.
 ``--stats-json``/``--stats-csv`` dump the full metrics registry of every
 simulated run (per-channel latency histograms, per-bank counters, run
 manifest); ``--trace-out`` writes a Chrome ``trace_event`` JSON viewable
@@ -25,7 +35,11 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ParallelExecutor,
+    suite_specs,
+)
 from repro.experiments.runner import ExperimentConfig, default_config
 from repro.telemetry import (
     TelemetrySession,
@@ -40,17 +54,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiment",
         description="Regenerate tables and figures from the paper.")
     parser.add_argument("experiment",
-                        help="experiment id (see 'list'), or 'all'/'list'")
+                        help="experiment id(s), comma-separated "
+                             "(see 'list'), or 'all'/'list'")
     parser.add_argument("--reads", type=int, default=None,
                         help="target demand DRAM fetches per run")
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset")
     parser.add_argument("--cache", default=None,
                         help="cache directory, or 'off'")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker processes (default REPRO_JOBS "
+                             "or 1; 0 = one per CPU)")
     parser.add_argument("--output", default=None,
                         help="append formatted tables to this file")
     parser.add_argument("--json", action="store_true",
                         help="emit tables as structured JSON instead of text")
+    parser.add_argument("--timings-json", default=None, metavar="PATH",
+                        help="write per-spec wall-clock timings as JSON")
     parser.add_argument("--stats-json", default=None, metavar="PATH",
                         help="write per-run metrics registry + manifest JSON")
     parser.add_argument("--stats-csv", default=None, metavar="PATH",
@@ -69,6 +89,8 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["benchmarks"] = tuple(b for b in args.benchmarks.split(",") if b)
     if args.cache is not None:
         kwargs["cache_dir"] = None if args.cache == "off" else args.cache
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
     if kwargs:
         from dataclasses import replace
         config = replace(config, **kwargs)
@@ -86,7 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(key)
         return 0
     keys = (list(ALL_EXPERIMENTS) if args.experiment == "all"
-            else [args.experiment])
+            else [k for k in args.experiment.split(",") if k])
     unknown = [k for k in keys if k not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
@@ -100,9 +122,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     tables = []
     try:
+        # One scheduler pass over the union of every requested figure's
+        # specs: shared baselines run once, in parallel when jobs > 1.
+        executor = ParallelExecutor(config, progress=True)
+        suite_start = time.time()
+        results = executor.run(suite_specs(keys, config))
         for key in keys:
             start = time.time()
-            table = ALL_EXPERIMENTS[key](config)
+            table = ALL_EXPERIMENTS[key](config, results=results)
             tables.append(table)
             if args.json:
                 import json as _json
@@ -120,11 +147,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if session is not None:
             deactivate()
 
+    if args.timings_json:
+        import json as _json
+        with open(args.timings_json, "w") as handle:
+            _json.dump({
+                "jobs": executor.jobs,
+                "experiments": keys,
+                "total_wall_s": round(time.time() - suite_start, 3),
+                "specs": executor.timings,
+            }, handle, indent=1)
+        print(f"wrote per-spec timings to {args.timings_json}",
+              file=sys.stderr)
+
     if session is not None:
         manifest_config = {
             "experiments": keys,
             "target_dram_reads": config.target_dram_reads,
             "benchmarks": list(config.suite()),
+            "jobs": executor.jobs,
         }
         if args.stats_json:
             session.export_stats(args.stats_json, config=manifest_config,

@@ -10,18 +10,45 @@
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import resolve_results
 from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentTable,
     default_config,
-    run_cached,
 )
+from repro.experiments.specs import RunSpec
 from repro.sim.config import MemoryKind
-from repro.sim.system import run_benchmark
+from repro.sim.system import SimResult
+
+NOPREFETCH = (("prefetcher_enabled", False),)
 
 
-def random_mapping(config: ExperimentConfig = None) -> ExperimentTable:
+def specs_random_mapping(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, kind)
+            for bench in config.suite()
+            for kind in (MemoryKind.DDR3, MemoryKind.RL,
+                         MemoryKind.RL_RANDOM)]
+
+
+def specs_no_prefetcher(config: ExperimentConfig) -> List[RunSpec]:
+    specs = []
+    for bench in config.suite():
+        specs.append(RunSpec(bench, MemoryKind.DDR3))
+        specs.append(RunSpec(bench, MemoryKind.RL))
+        specs.append(RunSpec(bench, MemoryKind.DDR3, variant="noprefetch",
+                             overrides=NOPREFETCH))
+        specs.append(RunSpec(bench, MemoryKind.RL, variant="noprefetch",
+                             overrides=NOPREFETCH))
+    return specs
+
+
+def random_mapping(config: ExperimentConfig = None,
+                   results: Optional[Dict[RunSpec, SimResult]] = None
+                   ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_random_mapping(config), config, results)
     table = ExperimentTable(
         experiment_id="sec611_random",
         title="Random critical-word mapping control (RL)",
@@ -29,9 +56,9 @@ def random_mapping(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: random mapping yields only +2.1% on average with "
               "severe degradation for low-bias applications.")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
-        rl = run_cached(bench, MemoryKind.RL, config)
-        rnd = run_cached(bench, MemoryKind.RL_RANDOM, config)
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        rl = results[RunSpec(bench, MemoryKind.RL)]
+        rnd = results[RunSpec(bench, MemoryKind.RL_RANDOM)]
         table.add(benchmark=bench, rl=rl.speedup_over(base),
                   rl_random=rnd.speedup_over(base),
                   fast_fraction=rnd.fast_service_fraction)
@@ -41,8 +68,11 @@ def random_mapping(config: ExperimentConfig = None) -> ExperimentTable:
     return table
 
 
-def no_prefetcher(config: ExperimentConfig = None) -> ExperimentTable:
+def no_prefetcher(config: ExperimentConfig = None,
+                  results: Optional[Dict[RunSpec, SimResult]] = None
+                  ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_no_prefetcher(config), config, results)
     table = ExperimentTable(
         experiment_id="sec611_noprefetch",
         title="RL gain without the stream prefetcher",
@@ -50,16 +80,12 @@ def no_prefetcher(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: RL improves 17.3% without the prefetcher vs 12.9% "
               "with it (more latency left to hide).")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
-        rl = run_cached(bench, MemoryKind.RL, config)
-        base_np = run_cached(
-            bench, MemoryKind.DDR3, config, variant="noprefetch",
-            runner=lambda b=bench: run_benchmark(
-                b, config.sim_config(MemoryKind.DDR3).without_prefetcher()))
-        rl_np = run_cached(
-            bench, MemoryKind.RL, config, variant="noprefetch",
-            runner=lambda b=bench: run_benchmark(
-                b, config.sim_config(MemoryKind.RL).without_prefetcher()))
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        rl = results[RunSpec(bench, MemoryKind.RL)]
+        base_np = results[RunSpec(bench, MemoryKind.DDR3,
+                                  variant="noprefetch", overrides=NOPREFETCH)]
+        rl_np = results[RunSpec(bench, MemoryKind.RL,
+                                variant="noprefetch", overrides=NOPREFETCH)]
         table.add(benchmark=bench, rl=rl.speedup_over(base),
                   rl_noprefetch=rl_np.speedup_over(base_np))
     table.add(benchmark="MEAN", rl=table.mean("rl"),

@@ -9,23 +9,30 @@ all DRAM fetches (paper: word 0 critical for >50 % of fetches in 21 of
 
 These are trace-level profiles: we drive the cache hierarchy with the
 benchmark's traces on the baseline memory and observe demand LLC misses
-through :class:`~repro.core.criticality.CriticalityProfiler`.
+through :class:`~repro.core.criticality.CriticalityProfiler`. The
+profiling passes are named runners, so they parallelise and cache like
+ordinary runs; Fig 3 packs the live profiler's per-line histograms into
+``SimResult.extra``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.core.criticality import CriticalityProfiler
+from repro.experiments.executor import resolve_results
 from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentTable,
     default_config,
-    run_cached,
 )
+from repro.experiments.specs import RunSpec, register_runner
 from repro.sim.config import MemoryKind
 from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
 from repro.workloads.profiles import FIG3_BENCHMARKS, profile_for
+
+# Fig 3 histograms are packed for the deepest rank any caller asks for.
+FIG3_MAX_LINES = 32
 
 
 def shrunken_profile(benchmark: str):
@@ -43,41 +50,88 @@ def shrunken_profile(benchmark: str):
         footprint_lines=max(16384, profile.footprint_lines // 64))
 
 
-def profiling_result(benchmark: str, config: ExperimentConfig):
-    """Cached run of the shrunken-footprint profiling pass."""
-    from repro.experiments.runner import run_cached
-    from repro.sim.system import run_benchmark
-
-    def runner():
-        sim_config = config.sim_config(MemoryKind.DDR3)
-        profile = shrunken_profile(benchmark)
-        traces = make_traces(profile, sim_config)
-        system = SimulationSystem(sim_config, traces, profile=profile)
-        prewarm_l2(system, profile)
-        result = system.run()
-        result.benchmark = benchmark
-        return result
-
-    return run_cached(benchmark, MemoryKind.DDR3, config,
-                      variant="profiling", runner=runner)
-
-
-def profile_benchmark(benchmark: str,
-                      config: ExperimentConfig) -> CriticalityProfiler:
-    """Run the baseline once, returning the live profiler object."""
+def _run_shrunken(benchmark: str, config: ExperimentConfig) -> SimulationSystem:
     sim_config = config.sim_config(MemoryKind.DDR3)
     profile = shrunken_profile(benchmark)
     traces = make_traces(profile, sim_config)
     system = SimulationSystem(sim_config, traces, profile=profile)
     prewarm_l2(system, profile)
+    return system
+
+
+@register_runner("criticality_profiling")
+def _profiling_runner(spec: RunSpec, config: ExperimentConfig):
+    """Shrunken-footprint baseline run (Fig 4's adaptive bound)."""
+    system = _run_shrunken(spec.benchmark, config)
+    result = system.run()
+    result.benchmark = spec.benchmark
+    return result
+
+
+@register_runner("criticality_fig3")
+def _fig3_runner(spec: RunSpec, config: ExperimentConfig):
+    """Profiling run that also packs the per-line histograms."""
+    system = _run_shrunken(spec.benchmark, config)
+    result = system.run()
+    result.benchmark = spec.benchmark
+    profiler = system.profiler
+    result.extra = {"fig3": {
+        "per_line_dominance": profiler.per_line_dominance(),
+        "top_lines": [
+            {"dominant_word": hist.dominant_word(),
+             "fractions": hist.fractions(),
+             "total": hist.total}
+            for hist in profiler.top_lines(FIG3_MAX_LINES)
+        ],
+    }}
+    return result
+
+
+def profiling_spec(benchmark: str) -> RunSpec:
+    return RunSpec(benchmark, MemoryKind.DDR3, variant="profiling",
+                   runner="criticality_profiling")
+
+
+def fig3_spec(benchmark: str) -> RunSpec:
+    return RunSpec(benchmark, MemoryKind.DDR3, variant="fig3_profile",
+                   runner="criticality_fig3")
+
+
+def specs_figure_3(config: ExperimentConfig,
+                   benchmarks: tuple = FIG3_BENCHMARKS) -> List[RunSpec]:
+    return [fig3_spec(bench) for bench in benchmarks]
+
+
+def specs_figure_4(config: ExperimentConfig) -> List[RunSpec]:
+    specs = []
+    for bench in config.suite():
+        specs.append(RunSpec(bench, MemoryKind.DDR3))
+        specs.append(profiling_spec(bench))
+    return specs
+
+
+def profiling_result(benchmark: str, config: ExperimentConfig):
+    """Cached run of the shrunken-footprint profiling pass."""
+    spec = profiling_spec(benchmark)
+    return resolve_results([spec], config)[spec]
+
+
+def profile_benchmark(benchmark: str,
+                      config: ExperimentConfig) -> CriticalityProfiler:
+    """Run the baseline once, returning the live profiler object."""
+    system = _run_shrunken(benchmark, config)
     system.run()
     return system.profiler
 
 
 def figure_3(config: ExperimentConfig = None,
              benchmarks: tuple = FIG3_BENCHMARKS,
-             top_lines: int = 10) -> ExperimentTable:
+             top_lines: int = 10,
+             results: Optional[Dict[RunSpec, object]] = None
+             ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_3(config, benchmarks), config,
+                              results)
     table = ExperimentTable(
         experiment_id="fig3",
         title="Per-line critical word histograms (most-accessed lines)",
@@ -86,22 +140,25 @@ def figure_3(config: ExperimentConfig = None,
         notes="Paper: each hot line shows a well-defined bias toward one "
               "or two words (word 0 for leslie3d; varied words for mcf).")
     for bench in benchmarks:
-        profiler = profile_benchmark(bench, config)
-        for rank, hist in enumerate(profiler.top_lines(top_lines)):
-            fracs = hist.fractions()
+        packed = results[fig3_spec(bench)].extra["fig3"]
+        for rank, hist in enumerate(packed["top_lines"][:top_lines]):
+            fracs = hist["fractions"]
             table.add(benchmark=bench, line_rank=rank,
-                      dominant_word=hist.dominant_word(),
-                      dominant_fraction=max(fracs) if hist.total else 0.0,
+                      dominant_word=hist["dominant_word"],
+                      dominant_fraction=max(fracs) if hist["total"] else 0.0,
                       **{f"w{i}": fracs[i] for i in range(8)})
         table.add(benchmark=f"{bench}-mean-dominance", line_rank=-1,
                   dominant_word=-1,
-                  dominant_fraction=profiler.per_line_dominance(),
+                  dominant_fraction=packed["per_line_dominance"],
                   **{f"w{i}": 0.0 for i in range(8)})
     return table
 
 
-def figure_4(config: ExperimentConfig = None) -> ExperimentTable:
+def figure_4(config: ExperimentConfig = None,
+             results: Optional[Dict[RunSpec, object]] = None
+             ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_4(config), config, results)
     table = ExperimentTable(
         experiment_id="fig4",
         title="Distribution of critical words per benchmark",
@@ -113,11 +170,11 @@ def figure_4(config: ExperimentConfig = None) -> ExperimentTable:
     word0: List[float] = []
     over_half = 0
     for bench in config.suite():
-        result = run_cached(bench, MemoryKind.DDR3, config)
+        result = results[RunSpec(bench, MemoryKind.DDR3)]
         dist = result.critical_distribution or [0.0] * 8
         # The adaptive bound needs DRAM-level line *refetches*; use the
         # reuse-heavy profiling pass for that column.
-        repeat = profiling_result(bench, config).repeat_fraction
+        repeat = results[profiling_spec(bench)].repeat_fraction
         table.add(benchmark=bench, word0_fraction=result.word0_fraction,
                   repeat_fraction=repeat,
                   **{f"w{i}": dist[i] for i in range(8)})

@@ -12,37 +12,69 @@
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import resolve_results
 from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentTable,
     default_config,
-    run_cached,
 )
+from repro.experiments.specs import RunSpec
 from repro.sim.config import MemoryKind
+from repro.sim.system import SimResult
 
 CWF_KINDS = (MemoryKind.RD, MemoryKind.RL, MemoryKind.DL)
+FIG9_KINDS = (MemoryKind.RL, MemoryKind.RL_ADAPTIVE, MemoryKind.RL_ORACLE,
+              MemoryKind.RLDRAM3)
 
 
-def figure_6(config: ExperimentConfig = None) -> ExperimentTable:
+def specs_figure_6(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, kind)
+            for bench in config.suite()
+            for kind in (MemoryKind.DDR3,) + CWF_KINDS]
+
+
+# Fig 7 needs exactly the Fig 6 runs (latency view of the same sims).
+specs_figure_7 = specs_figure_6
+
+
+def specs_figure_8(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, MemoryKind.RL) for bench in config.suite()]
+
+
+def specs_figure_9(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, kind)
+            for bench in config.suite()
+            for kind in (MemoryKind.DDR3,) + FIG9_KINDS]
+
+
+def figure_6(config: ExperimentConfig = None,
+             results: Optional[Dict[RunSpec, SimResult]] = None
+             ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_6(config), config, results)
     table = ExperimentTable(
         experiment_id="fig6",
         title="CWF throughput normalised to DDR3 baseline",
         columns=["benchmark", "rd", "rl", "dl"],
         notes="Paper averages: RD 1.21, RL 1.129, DL 0.91.")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
         row = {"benchmark": bench}
         for kind in CWF_KINDS:
-            row[kind.value] = run_cached(bench, kind, config).speedup_over(base)
+            row[kind.value] = results[RunSpec(bench, kind)].speedup_over(base)
         table.add(**row)
     table.add(benchmark="MEAN", rd=table.mean("rd"), rl=table.mean("rl"),
               dl=table.mean("dl"))
     return table
 
 
-def figure_7(config: ExperimentConfig = None) -> ExperimentTable:
+def figure_7(config: ExperimentConfig = None,
+             results: Optional[Dict[RunSpec, SimResult]] = None
+             ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_7(config), config, results)
     table = ExperimentTable(
         experiment_id="fig7",
         title="Average critical-word latency (CPU cycles)",
@@ -51,17 +83,22 @@ def figure_7(config: ExperimentConfig = None) -> ExperimentTable:
               "22% (RL) vs the DDR3 baseline.")
     for bench in config.suite():
         row = {"benchmark": bench}
-        row["ddr3"] = run_cached(bench, MemoryKind.DDR3, config).avg_critical_latency
+        row["ddr3"] = results[
+            RunSpec(bench, MemoryKind.DDR3)].avg_critical_latency
         for kind in CWF_KINDS:
-            row[kind.value] = run_cached(bench, kind, config).avg_critical_latency
+            row[kind.value] = results[
+                RunSpec(bench, kind)].avg_critical_latency
         table.add(**row)
     table.add(benchmark="MEAN",
               **{c: table.mean(c) for c in ("ddr3", "rd", "rl", "dl")})
     return table
 
 
-def figure_8(config: ExperimentConfig = None) -> ExperimentTable:
+def figure_8(config: ExperimentConfig = None,
+             results: Optional[Dict[RunSpec, SimResult]] = None
+             ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_8(config), config, results)
     table = ExperimentTable(
         experiment_id="fig8",
         title="Critical word requests served by the fast module (RL)",
@@ -69,7 +106,7 @@ def figure_8(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: word-0 placement serves 67% of critical words on "
               "average (static).")
     for bench in config.suite():
-        rl = run_cached(bench, MemoryKind.RL, config)
+        rl = results[RunSpec(bench, MemoryKind.RL)]
         table.add(benchmark=bench, fast_fraction=rl.fast_service_fraction,
                   word0_fraction=rl.word0_fraction)
     table.add(benchmark="MEAN", fast_fraction=table.mean("fast_fraction"),
@@ -77,8 +114,11 @@ def figure_8(config: ExperimentConfig = None) -> ExperimentTable:
     return table
 
 
-def figure_9(config: ExperimentConfig = None) -> ExperimentTable:
+def figure_9(config: ExperimentConfig = None,
+             results: Optional[Dict[RunSpec, SimResult]] = None
+             ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_9(config), config, results)
     table = ExperimentTable(
         experiment_id="fig9",
         title="RL variants vs baseline: static / adaptive / oracle / all-RLDRAM3",
@@ -86,13 +126,16 @@ def figure_9(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper averages: RL 1.129, RL AD 1.157, RL OR 1.28, "
               "all-RLDRAM3 1.31.")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
         table.add(
             benchmark=bench,
-            rl=run_cached(bench, MemoryKind.RL, config).speedup_over(base),
-            rl_ad=run_cached(bench, MemoryKind.RL_ADAPTIVE, config).speedup_over(base),
-            rl_or=run_cached(bench, MemoryKind.RL_ORACLE, config).speedup_over(base),
-            rldram3=run_cached(bench, MemoryKind.RLDRAM3, config).speedup_over(base),
+            rl=results[RunSpec(bench, MemoryKind.RL)].speedup_over(base),
+            rl_ad=results[
+                RunSpec(bench, MemoryKind.RL_ADAPTIVE)].speedup_over(base),
+            rl_or=results[
+                RunSpec(bench, MemoryKind.RL_ORACLE)].speedup_over(base),
+            rldram3=results[
+                RunSpec(bench, MemoryKind.RLDRAM3)].speedup_over(base),
         )
     table.add(benchmark="MEAN",
               **{c: table.mean(c) for c in ("rl", "rl_ad", "rl_or", "rldram3")})

@@ -6,40 +6,97 @@
   savings (paper: savings grow with utilisation).
 * Sec 7.2 — the Malladi-style unterminated-LPDRAM variant: recompute RL
   memory power without the server ODT/DLL adders (paper: energy savings
-  grow to 26.1 %).
+  grow to 26.1 %). The alternate power totals need the live memory
+  system, so a named runner packs them into ``SimResult.extra`` — which
+  also makes the Sec 7.2 runs cacheable and parallelisable.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
+
 from repro.energy.model import SystemEnergyModel, memory_power_report
+from repro.experiments.executor import resolve_results
 from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentTable,
     default_config,
-    run_cached,
 )
+from repro.experiments.specs import RunSpec, register_runner
 from repro.sim.config import MemoryKind
-from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
+from repro.sim.system import (
+    SimResult,
+    SimulationSystem,
+    make_traces,
+    prewarm_l2,
+)
 from repro.workloads.profiles import profile_for
 
 CWF_KINDS = (MemoryKind.RD, MemoryKind.RL, MemoryKind.DL)
 
 
-def figure_10(config: ExperimentConfig = None) -> ExperimentTable:
+@register_runner("sec72_power")
+def _sec72_runner(spec: RunSpec, config: ExperimentConfig) -> SimResult:
+    """RL run that also reports server-adapted vs native LPDRAM power."""
+    sim_config = config.sim_config(MemoryKind.RL)
+    profile = profile_for(spec.benchmark)
+    traces = make_traces(profile, sim_config)
+    system = SimulationSystem(sim_config, traces, profile=profile)
+    prewarm_l2(system, profile)
+    result = system.run()
+    result.benchmark = spec.benchmark
+    adapted = memory_power_report(system.memory, result.elapsed_cycles,
+                                  server_adapted_lpdram=True)
+    native = memory_power_report(system.memory, result.elapsed_cycles,
+                                 server_adapted_lpdram=False)
+    result.extra = {"sec72": {"adapted_mw": sum(adapted.values()),
+                              "native_mw": sum(native.values())}}
+    return result
+
+
+def sec72_spec(benchmark: str) -> RunSpec:
+    return RunSpec(benchmark, MemoryKind.RL, variant="unterminated",
+                   runner="sec72_power")
+
+
+def specs_figure_10(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, kind)
+            for bench in config.suite()
+            for kind in (MemoryKind.DDR3,) + CWF_KINDS]
+
+
+def specs_figure_11(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, kind)
+            for bench in config.suite()
+            for kind in (MemoryKind.DDR3, MemoryKind.RL)]
+
+
+def specs_section_7_2(config: ExperimentConfig) -> List[RunSpec]:
+    specs = []
+    for bench in config.suite():
+        specs.append(RunSpec(bench, MemoryKind.DDR3))
+        specs.append(sec72_spec(bench))
+    return specs
+
+
+def figure_10(config: ExperimentConfig = None,
+              results: Optional[Dict[RunSpec, SimResult]] = None
+              ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_10(config), config, results)
     table = ExperimentTable(
         experiment_id="fig10",
         title="System energy normalised to DDR3 baseline",
         columns=["benchmark", "rd", "rl", "dl", "rl_memory_energy"],
         notes="Paper: RL system energy -6%, DL -13%; RL memory energy -15%.")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
         model = SystemEnergyModel(base)
         row = {"benchmark": bench}
         for kind in CWF_KINDS:
-            result = run_cached(bench, kind, config)
+            result = results[RunSpec(bench, kind)]
             row[kind.value] = model.report(result).normalized_system_energy
-        rl = run_cached(bench, MemoryKind.RL, config)
+        rl = results[RunSpec(bench, MemoryKind.RL)]
         row["rl_memory_energy"] = model.report(rl).normalized_memory_energy
         table.add(**row)
     table.add(benchmark="MEAN",
@@ -48,8 +105,11 @@ def figure_10(config: ExperimentConfig = None) -> ExperimentTable:
     return table
 
 
-def figure_11(config: ExperimentConfig = None) -> ExperimentTable:
+def figure_11(config: ExperimentConfig = None,
+              results: Optional[Dict[RunSpec, SimResult]] = None
+              ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_11(config), config, results)
     table = ExperimentTable(
         experiment_id="fig11",
         title="Bandwidth utilisation vs RL system-energy savings",
@@ -57,8 +117,8 @@ def figure_11(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: energy savings generally increase with utilisation "
               "(RLDRAM's power gap shrinks at high activity).")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
-        rl = run_cached(bench, MemoryKind.RL, config)
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        rl = results[RunSpec(bench, MemoryKind.RL)]
         model = SystemEnergyModel(base)
         savings = 1.0 - model.report(rl).normalized_system_energy
         table.add(benchmark=bench, bus_utilization=base.bus_utilization,
@@ -66,9 +126,12 @@ def figure_11(config: ExperimentConfig = None) -> ExperimentTable:
     return table
 
 
-def section_7_2(config: ExperimentConfig = None) -> ExperimentTable:
+def section_7_2(config: ExperimentConfig = None,
+                results: Optional[Dict[RunSpec, SimResult]] = None
+                ) -> ExperimentTable:
     """Unterminated LPDRAM (Malladi et al. style): no ODT/DLL adders."""
     config = config or default_config()
+    results = resolve_results(specs_section_7_2(config), config, results)
     table = ExperimentTable(
         experiment_id="sec72",
         title="RL memory energy with unterminated (native) LPDRAM",
@@ -77,22 +140,14 @@ def section_7_2(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: dropping the ODT/DLL server adaptation boosts energy "
               "savings to 26.1%.")
     for bench in config.suite():
-        sim_config = config.sim_config(MemoryKind.RL)
-        profile = profile_for(bench)
-        traces = make_traces(profile, sim_config)
-        system = SimulationSystem(sim_config, traces, profile=profile)
-        prewarm_l2(system, profile)
-        result = system.run()
-        adapted = memory_power_report(system.memory, result.elapsed_cycles,
-                                      server_adapted_lpdram=True)
-        native = memory_power_report(system.memory, result.elapsed_cycles,
-                                     server_adapted_lpdram=False)
-        a_total = sum(adapted.values())
-        n_total = sum(native.values())
-        base = run_cached(bench, MemoryKind.DDR3, config)
+        result = results[sec72_spec(bench)]
+        powers = result.extra["sec72"]
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
         base_energy = base.memory_power_mw * base.elapsed_cycles
-        adapted_sav = 1 - (a_total * result.elapsed_cycles) / base_energy
-        native_sav = 1 - (n_total * result.elapsed_cycles) / base_energy
+        adapted_sav = 1 - (powers["adapted_mw"]
+                           * result.elapsed_cycles) / base_energy
+        native_sav = 1 - (powers["native_mw"]
+                          * result.elapsed_cycles) / base_energy
         table.add(benchmark=bench, server_adapted=adapted_sav,
                   unterminated=native_sav,
                   savings_boost=native_sav - adapted_sav)

@@ -1,0 +1,202 @@
+"""Parallel scheduler for :class:`~repro.experiments.specs.RunSpec` lists.
+
+The figure modules declare *what* to simulate; this module decides
+*how*: recall from the disk cache, run in-process (``jobs=1``, fully
+deterministic, the default), or fan out over a
+``concurrent.futures.ProcessPoolExecutor``. The worker count comes from
+an explicit ``jobs`` argument, ``ExperimentConfig.jobs``, or the
+``REPRO_JOBS`` environment variable; ``0``/negative means "one worker
+per CPU". Parallel and serial execution produce byte-identical tables
+for the same seed — results are keyed by spec, so completion order
+never leaks into table order, and every simulation is deterministic
+given its config.
+
+Workers return picklable :class:`~repro.sim.system.SimResult` records
+plus their telemetry (run summaries and trace events), which the parent
+merges into the active :class:`~repro.telemetry.session.TelemetrySession`.
+Workers also write their results straight into the shared
+:class:`~repro.experiments.runner.ResultCache` (safe for concurrent
+writers) so a crashed suite still persists completed runs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.specs import RunSpec, execute_spec, spec_cache_key
+from repro.sim.system import SimResult
+from repro.telemetry.session import (
+    TelemetrySession,
+    activate,
+    active_session,
+    deactivate,
+)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg, else ``REPRO_JOBS``, else 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = int(env)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _worker_execute(spec: RunSpec, config, telemetry_opts: Optional[dict]):
+    """Process-pool entry point: run one spec, return picklable results.
+
+    Imports inside the function make sure a fresh worker registers the
+    named runners before resolving them, and each worker gets its own
+    telemetry session (the parent merges the returned records).
+    """
+    import repro.experiments  # noqa: F401  (populate the runner registry)
+    from repro.experiments.runner import ResultCache
+
+    session = None
+    if telemetry_opts is not None:
+        session = activate(TelemetrySession(**telemetry_opts))
+    try:
+        result = execute_spec(spec, config)
+    finally:
+        if session is not None:
+            deactivate()
+    ResultCache(config.cache_dir).put(spec_cache_key(spec, config), result)
+    runs: List[dict] = session.runs if session is not None else []
+    trace_events: List[dict] = []
+    if session is not None:
+        for tracer in session._tracers:
+            trace_events.extend(tracer.events)
+    return result, runs, trace_events
+
+
+class ParallelExecutor:
+    """Runs a deduped spec list, returning ``{spec: SimResult}``.
+
+    ``progress=True`` emits one stderr line per completed spec (label,
+    wall time, cached/ran); the same records accumulate in
+    :attr:`timings` for ``--timings-json`` artifacts.
+    """
+
+    def __init__(self, config, jobs: Optional[int] = None,
+                 progress: bool = False) -> None:
+        from repro.experiments.runner import ResultCache
+
+        self.config = config
+        self.jobs = resolve_jobs(
+            jobs if jobs is not None else getattr(config, "jobs", None))
+        self.progress = progress
+        self.cache = ResultCache(config.cache_dir)
+        self.timings: List[dict] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> Dict[RunSpec, SimResult]:
+        ordered = list(dict.fromkeys(specs))  # dedupe, keep declared order
+        session = active_session()
+        results: Dict[RunSpec, SimResult] = {}
+        pending: List[RunSpec] = []
+        for spec in ordered:
+            # A recalled result has no telemetry to contribute, so an
+            # active session forces real runs (same rule as run_cached).
+            cached = (self.cache.get(spec_cache_key(spec, self.config))
+                      if session is None else None)
+            if cached is not None:
+                results[spec] = cached
+                self._record(spec, 0.0, cached=True)
+            else:
+                pending.append(spec)
+        if not pending:
+            return results
+        if self.jobs == 1:
+            self._run_serial(pending, results)
+        else:
+            self._run_parallel(pending, results, session)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, pending: Sequence[RunSpec],
+                    results: Dict[RunSpec, SimResult]) -> None:
+        """Deterministic in-process execution (``jobs=1``).
+
+        Runs under the parent's telemetry session, exactly like the
+        pre-pipeline harness did.
+        """
+        for spec in pending:
+            start = time.perf_counter()
+            result = execute_spec(spec, self.config)
+            self.cache.put(spec_cache_key(spec, self.config), result)
+            results[spec] = result
+            self._record(spec, time.perf_counter() - start, cached=False)
+
+    def _run_parallel(self, pending: Sequence[RunSpec],
+                      results: Dict[RunSpec, SimResult],
+                      session: Optional[TelemetrySession]) -> None:
+        telemetry_opts = None
+        if session is not None:
+            telemetry_opts = {
+                "trace_enabled": session.trace_enabled,
+                "cpu_freq_ghz": session.cpu_freq_ghz,
+                "sample_interval": session.sample_interval,
+            }
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_worker_execute, spec, self.config,
+                            telemetry_opts): (spec, time.perf_counter())
+                for spec in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                spec, start = futures[future]
+                result, runs, trace_events = future.result()
+                results[spec] = result
+                if session is not None:
+                    session.ingest(runs, trace_events)
+                self._record(spec, time.perf_counter() - start, cached=False)
+
+    # ------------------------------------------------------------------
+
+    def _record(self, spec: RunSpec, seconds: float, cached: bool) -> None:
+        self.timings.append({
+            "benchmark": spec.benchmark,
+            "memory": spec.memory.value,
+            "variant": spec.variant,
+            "runner": spec.runner,
+            "seconds": round(seconds, 3),
+            "cached": cached,
+        })
+        if self.progress:
+            done = len(self.timings)
+            status = "cached" if cached else f"{seconds:.1f}s"
+            print(f"[repro {done:>3}] {spec.label} {status}",
+                  file=sys.stderr, flush=True)
+
+
+def run_specs(specs: Sequence[RunSpec], config,
+              jobs: Optional[int] = None,
+              progress: bool = False) -> Dict[RunSpec, SimResult]:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    return ParallelExecutor(config, jobs=jobs, progress=progress).run(specs)
+
+
+def resolve_results(specs: Iterable[RunSpec], config,
+                    results: Optional[Dict[RunSpec, SimResult]] = None,
+                    jobs: Optional[int] = None) -> Dict[RunSpec, SimResult]:
+    """Return a map covering ``specs``, running whatever is missing.
+
+    Figure functions call this so they work standalone (compute their
+    own specs) *and* under a suite scheduler that pre-ran the union of
+    all figures' specs and passes the shared ``results`` map in.
+    """
+    have = {} if results is None else dict(results)
+    missing = [spec for spec in dict.fromkeys(specs) if spec not in have]
+    if missing:
+        have.update(run_specs(missing, config, jobs=jobs))
+    return have

@@ -9,28 +9,44 @@ than DDR3, LPDDR2 ~41 % higher).
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import resolve_results
 from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentTable,
     default_config,
-    run_cached,
 )
+from repro.experiments.specs import RunSpec
 from repro.sim.config import MemoryKind
+from repro.sim.system import SimResult
 
 FLAVOURS = (MemoryKind.DDR3, MemoryKind.RLDRAM3, MemoryKind.LPDDR2)
 
 
-def figure_1a(config: ExperimentConfig = None) -> ExperimentTable:
+def specs_figure_1a(config: ExperimentConfig) -> List[RunSpec]:
+    return [RunSpec(bench, kind)
+            for bench in config.suite() for kind in FLAVOURS]
+
+
+# Fig 1b reuses exactly the Fig 1a runs, split into latency components.
+specs_figure_1b = specs_figure_1a
+
+
+def figure_1a(config: ExperimentConfig = None,
+              results: Optional[Dict[RunSpec, SimResult]] = None
+              ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_1a(config), config, results)
     table = ExperimentTable(
         experiment_id="fig1a",
         title="Homogeneous DRAM flavours: normalised throughput",
         columns=["benchmark", "ddr3", "rldram3", "lpddr2"],
         notes="Paper: RLDRAM3 +31% and LPDDR2 -13% vs DDR3 (suite average).")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
-        rld = run_cached(bench, MemoryKind.RLDRAM3, config)
-        lpd = run_cached(bench, MemoryKind.LPDDR2, config)
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        rld = results[RunSpec(bench, MemoryKind.RLDRAM3)]
+        lpd = results[RunSpec(bench, MemoryKind.LPDDR2)]
         table.add(benchmark=bench, ddr3=1.0,
                   rldram3=rld.speedup_over(base),
                   lpddr2=lpd.speedup_over(base))
@@ -39,8 +55,11 @@ def figure_1a(config: ExperimentConfig = None) -> ExperimentTable:
     return table
 
 
-def figure_1b(config: ExperimentConfig = None) -> ExperimentTable:
+def figure_1b(config: ExperimentConfig = None,
+              results: Optional[Dict[RunSpec, SimResult]] = None
+              ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_figure_1b(config), config, results)
     table = ExperimentTable(
         experiment_id="fig1b",
         title="Memory read latency breakdown (CPU cycles)",
@@ -49,7 +68,7 @@ def figure_1b(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: RLDRAM3 queue + core well below DDR3; LPDDR2 ~41% above.")
     for bench in config.suite():
         for kind in FLAVOURS:
-            result = run_cached(bench, kind, config)
+            result = results[RunSpec(bench, kind)]
             table.add(benchmark=bench, flavour=kind.value,
                       queue_latency=result.avg_queue_latency,
                       core_latency=result.avg_core_latency,

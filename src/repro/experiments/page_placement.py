@@ -9,25 +9,34 @@ reports wide variance (-9.3 % to +11.2 %) with an average of about
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import resolve_results
 from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentTable,
     default_config,
-    run_cached,
 )
+from repro.experiments.specs import RunSpec
 from repro.sim.config import MemoryKind
-from repro.sim.system import SimResult, run_benchmark
+from repro.sim.system import SimResult
 
 
-def _run_page_placement(benchmark: str, config: ExperimentConfig) -> SimResult:
-    # run_benchmark passes the generated traces to build_memory, which
-    # performs the offline page-heat profiling pass.
-    return run_benchmark(benchmark,
-                         config.sim_config(MemoryKind.PAGE_PLACEMENT))
+def specs_section_7_1(config: ExperimentConfig) -> List[RunSpec]:
+    # PAGE_PLACEMENT runs like any other kind: run_benchmark hands the
+    # benchmark profile to build_memory, which performs the offline
+    # page-heat profiling pass before the measured run.
+    return [RunSpec(bench, kind)
+            for bench in config.suite()
+            for kind in (MemoryKind.DDR3, MemoryKind.RL,
+                         MemoryKind.PAGE_PLACEMENT)]
 
 
-def section_7_1(config: ExperimentConfig = None) -> ExperimentTable:
+def section_7_1(config: ExperimentConfig = None,
+                results: Optional[Dict[RunSpec, SimResult]] = None
+                ) -> ExperimentTable:
     config = config or default_config()
+    results = resolve_results(specs_section_7_1(config), config, results)
     table = ExperimentTable(
         experiment_id="sec71",
         title="Page placement (hot 7.6% of pages in RLDRAM3) vs CWF RL",
@@ -35,10 +44,9 @@ def section_7_1(config: ExperimentConfig = None) -> ExperimentTable:
         notes="Paper: page placement varies from -9.3% to +11.2% "
               "(avg ~+8%), below the CWF schemes.")
     for bench in config.suite():
-        base = run_cached(bench, MemoryKind.DDR3, config)
-        rl = run_cached(bench, MemoryKind.RL, config)
-        pp = run_cached(bench, MemoryKind.PAGE_PLACEMENT, config,
-                        runner=lambda b=bench: _run_page_placement(b, config))
+        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        rl = results[RunSpec(bench, MemoryKind.RL)]
+        pp = results[RunSpec(bench, MemoryKind.PAGE_PLACEMENT)]
         table.add(benchmark=bench,
                   page_placement=pp.speedup_over(base),
                   rl=rl.speedup_over(base),

@@ -15,8 +15,13 @@ from repro.experiments.runner import ExperimentConfig, ExperimentTable, default_
 UTILIZATION_POINTS = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
 
 
+def specs_figure_2(config: ExperimentConfig) -> list:
+    return []  # analytic sweep: no simulation runs to schedule
+
+
 def figure_2(config: ExperimentConfig = None,
-             row_hit_rate: float = 0.5) -> ExperimentTable:
+             row_hit_rate: float = 0.5,
+             results: dict = None) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="fig2",
         title="Chip power (mW) vs bus utilisation",

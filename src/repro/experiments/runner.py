@@ -1,14 +1,18 @@
 """Shared machinery for the per-figure experiment modules.
 
 Simulation runs are expensive in pure Python, so results are cached on
-disk keyed by (benchmark, memory kind, reads, options). Every figure
-module builds on :func:`run_cached` and returns an
-:class:`ExperimentTable` that formats itself for the console and for
-EXPERIMENTS.md.
+disk keyed by the declarative :class:`~repro.experiments.specs.RunSpec`
+plus a digest of the fully resolved simulation config. Figure modules
+declare their spec lists up front, resolve them through
+:mod:`repro.experiments.executor` (serial or process-pool parallel),
+and return an :class:`ExperimentTable` that formats itself for the
+console and for EXPERIMENTS.md. :func:`run_cached` remains as the
+single-run convenience wrapper over the same cache.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -17,8 +21,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.experiments.specs import RunSpec, execute_spec, spec_cache_key
 from repro.sim.config import MemoryKind, SimConfig
-from repro.sim.system import SimResult, run_benchmark
+from repro.sim.system import SimResult
 from repro.telemetry.session import active_session
 from repro.workloads.profiles import benchmark_names
 
@@ -33,6 +38,9 @@ class ExperimentConfig:
     benchmarks: Sequence[str] = ()
     cache_dir: Optional[str] = ".repro_cache"
     seed: int = 42
+    # Parallel worker count for the spec executor: None defers to the
+    # REPRO_JOBS environment variable (default 1, fully serial).
+    jobs: Optional[int] = None
 
     def suite(self) -> List[str]:
         return list(self.benchmarks) if self.benchmarks else benchmark_names()
@@ -55,7 +63,16 @@ def default_config() -> ExperimentConfig:
 
 
 class ResultCache:
-    """Disk cache of :class:`SimResult` records."""
+    """Disk cache of :class:`SimResult` records, safe for concurrent
+    writers.
+
+    ``put`` serializes to a sibling temp file and ``os.replace``s it
+    into place, so a reader (or a concurrently restarted writer) never
+    observes a torn entry; a per-entry advisory ``flock`` (where the
+    platform provides ``fcntl``) additionally serialises writers of the
+    same key so parallel suite runs sharing a cache directory don't
+    interleave replace cycles.
+    """
 
     def __init__(self, directory: Optional[str]) -> None:
         self.directory = Path(directory) if directory else None
@@ -67,6 +84,21 @@ class ResultCache:
             return None
         digest = hashlib.sha256(key.encode()).hexdigest()[:24]
         return self.directory / f"{digest}.json"
+
+    @contextlib.contextmanager
+    def _entry_lock(self, path: Path):
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def get(self, key: str) -> Optional[SimResult]:
         """Recall a cached result; any corruption is treated as a miss.
@@ -96,7 +128,14 @@ class ResultCache:
             return
         data = dataclasses.asdict(result)
         data["__key__"] = key
-        path.write_text(json.dumps(data))
+        payload = json.dumps(data)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with self._entry_lock(path):
+            try:
+                tmp.write_text(payload)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
 
 
 _caches: Dict[str, ResultCache] = {}
@@ -116,10 +155,13 @@ def run_cached(benchmark: str, memory: MemoryKind,
     """Run (or recall) one benchmark on one memory organisation.
 
     ``variant`` distinguishes non-default setups (e.g. "noprefetch");
-    ``runner`` overrides the default run for such variants.
+    ``runner`` overrides the default run for such variants. New code
+    should declare a :class:`~repro.experiments.specs.RunSpec` and go
+    through the executor instead; this wrapper shares the same cache
+    keys, so both paths recall each other's results.
     """
-    key = "|".join(["v5", benchmark, memory.value, variant,
-                    str(config.target_dram_reads), str(config.seed)])
+    spec = RunSpec(benchmark=benchmark, memory=memory, variant=variant)
+    key = spec_cache_key(spec, config)
     cache = _cache_for(config)
     # With an active telemetry session a recalled result would have no
     # metrics or trace spans to contribute, so force a real run (the
@@ -131,7 +173,7 @@ def run_cached(benchmark: str, memory: MemoryKind,
     if runner is not None:
         result = runner()
     else:
-        result = run_benchmark(benchmark, config.sim_config(memory))
+        result = execute_spec(spec, config)
     cache.put(key, result)
     return result
 
@@ -156,20 +198,27 @@ class ExperimentTable:
         values = [v for v in self.column(name) if isinstance(v, (int, float))]
         return sum(values) / len(values) if values else 0.0
 
+    @staticmethod
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
     def format(self) -> str:
         lines = [f"== {self.experiment_id}: {self.title} =="]
-        widths = {c: max(len(c), 10) for c in self.columns}
+        # Widths account for every cell (not just the header) so long
+        # benchmark/memory names can't break the grid.
+        widths = {
+            c: max([len(c), 10]
+                   + [len(self._cell(row.get(c, ""))) for row in self.rows])
+            for c in self.columns
+        }
         header = "  ".join(c.ljust(widths[c]) for c in self.columns)
         lines.append(header)
         lines.append("-" * len(header))
         for row in self.rows:
-            cells = []
-            for c in self.columns:
-                v = row.get(c, "")
-                if isinstance(v, float):
-                    v = f"{v:.3f}"
-                cells.append(str(v).ljust(widths[c]))
-            lines.append("  ".join(cells))
+            lines.append("  ".join(self._cell(row.get(c, "")).ljust(widths[c])
+                                   for c in self.columns))
         if self.notes:
             lines.append(self.notes)
         return "\n".join(lines)

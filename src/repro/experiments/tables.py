@@ -10,7 +10,16 @@ from repro.experiments.runner import ExperimentConfig, ExperimentTable
 from repro.sim.config import TABLE1
 
 
-def table_1(config: ExperimentConfig = None) -> ExperimentTable:
+def specs_table_1(config: ExperimentConfig) -> list:
+    return []  # configuration dump: no simulation runs to schedule
+
+
+def specs_table_2(config: ExperimentConfig) -> list:
+    return []  # timing-parameter dump: no simulation runs to schedule
+
+
+def table_1(config: ExperimentConfig = None,
+            results: dict = None) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="tab1",
         title="Simulator parameters (paper Table 1)",
@@ -20,7 +29,8 @@ def table_1(config: ExperimentConfig = None) -> ExperimentTable:
     return table
 
 
-def table_2(config: ExperimentConfig = None) -> ExperimentTable:
+def table_2(config: ExperimentConfig = None,
+            results: dict = None) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="tab2",
         title="Timing parameters in ns (paper Table 2)",

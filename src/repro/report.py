@@ -16,7 +16,7 @@ import datetime
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, ParallelExecutor, suite_specs
 from repro.experiments.runner import ExperimentConfig, ExperimentTable, default_config
 
 
@@ -143,18 +143,30 @@ CLAIMS = {
 }
 
 
+def _prefetch_results(config: ExperimentConfig, keys: List[str],
+                      jobs: Optional[int] = None,
+                      progress: bool = False):
+    """One scheduler pass over the union of the figures' spec lists."""
+    executor = ParallelExecutor(config, jobs=jobs, progress=progress)
+    return executor.run(suite_specs(keys, config))
+
+
 def collect_tables(config: Optional[ExperimentConfig] = None,
-                   experiments: Optional[List[str]] = None) -> List[ExperimentTable]:
+                   experiments: Optional[List[str]] = None,
+                   jobs: Optional[int] = None) -> List[ExperimentTable]:
     """Run (or recall) the listed experiments and return their tables."""
     config = config or default_config()
     keys = experiments or list(ALL_EXPERIMENTS)
-    return [ALL_EXPERIMENTS[key](config) for key in keys]
+    results = _prefetch_results(config, keys, jobs=jobs)
+    return [ALL_EXPERIMENTS[key](config, results=results) for key in keys]
 
 
 def render_report(config: Optional[ExperimentConfig] = None,
-                  experiments: Optional[List[str]] = None) -> str:
+                  experiments: Optional[List[str]] = None,
+                  jobs: Optional[int] = None) -> str:
     config = config or default_config()
     keys = experiments or list(ALL_EXPERIMENTS)
+    results = _prefetch_results(config, keys, jobs=jobs, progress=True)
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -169,9 +181,19 @@ def render_report(config: Optional[ExperimentConfig] = None,
         f"{config.target_dram_reads} fetches/run, "
         f"suite of {len(config.suite())} benchmarks.",
         "",
+        "## Running the suite in parallel",
+        "",
+        "Every experiment declares its simulations as `RunSpec`s; the",
+        "suite scheduler dedupes the union (shared DDR3 baselines run",
+        "once) and fans it out over `--jobs N` worker processes",
+        "(`python -m repro.report --jobs 4`, or `REPRO_JOBS=4`; 0 = one",
+        "per CPU). `--jobs 1` (the default) runs serially in-process;",
+        "both modes share the on-disk result cache and emit",
+        "byte-identical tables for the same seed.",
+        "",
     ]
     for key in keys:
-        table = ALL_EXPERIMENTS[key](config)
+        table = ALL_EXPERIMENTS[key](config, results=results)
         lines.append(f"## {key}: {table.title}")
         lines.append("")
         claims = CLAIMS.get(key, [])
@@ -193,6 +215,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="EXPERIMENTS.md")
     parser.add_argument("--reads", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker processes (default REPRO_JOBS "
+                             "or 1; 0 = one per CPU)")
     parser.add_argument("--experiments", default=None,
                         help="comma-separated subset of experiment ids")
     parser.add_argument("--json", default=None, metavar="PATH",
@@ -200,11 +225,16 @@ def main(argv=None) -> int:
                              "with a run manifest")
     args = parser.parse_args(argv)
     config = default_config()
-    if args.reads is not None:
+    if args.reads is not None or args.jobs is not None:
         from dataclasses import replace
-        config = replace(config, target_dram_reads=args.reads)
+        updates = {}
+        if args.reads is not None:
+            updates["target_dram_reads"] = args.reads
+        if args.jobs is not None:
+            updates["jobs"] = args.jobs
+        config = replace(config, **updates)
     keys = args.experiments.split(",") if args.experiments else None
-    text = render_report(config, keys)
+    text = render_report(config, keys, jobs=args.jobs)
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output}")
@@ -213,7 +243,8 @@ def main(argv=None) -> int:
         tables = collect_tables(config, keys)  # cached: runs recalled
         manifest = run_manifest(
             config={"target_dram_reads": config.target_dram_reads,
-                    "benchmarks": list(config.suite())},
+                    "benchmarks": list(config.suite()),
+                    "jobs": args.jobs},
             seed=config.seed, argv=argv)
         with open(args.json, "w") as handle:
             handle.write(tables_to_json(tables, manifest))

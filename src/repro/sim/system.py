@@ -54,6 +54,10 @@ class SimResult:
     # Compact registry-derived summary (percentiles etc.); populated only
     # when the run was executed with telemetry attached.
     telemetry: Optional[Dict] = None
+    # Named-runner payloads (JSON-serialisable) that need data only the
+    # live system can provide — e.g. Sec 7.2 power-model reports or the
+    # Fig 3 per-line histograms — so those runs cache like any other.
+    extra: Dict = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:

@@ -8,6 +8,11 @@ makes them one-liners over the simulator::
                   parameter="mshr_capacity", values=[16, 64, 256])
     print(table.format())
 
+Each sweep point is a declarative
+:class:`~repro.experiments.specs.RunSpec`, so sweeps fan out over the
+same process-pool executor as the figure suite (``jobs=4`` runs four
+points at once; results come back in declared order either way).
+
 Supported parameters (each maps onto the config object that owns it):
 
 * ``mshr_capacity`` — L2 MSHR file size.
@@ -20,101 +25,97 @@ Supported parameters (each maps onto the config object that owns it):
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable, Dict, List, Sequence
+from typing import Optional, Sequence
 
-from repro.cpu.core import CoreConfig
-from repro.cpu.prefetch import PrefetcherConfig
-from repro.cpu.uncore import UncoreConfig
 from repro.dram.controller import ControllerConfig
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.executor import run_specs
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
+from repro.experiments.specs import (
+    _CONTROLLER_PARAMS,
+    RunSpec,
+    apply_parameter,
+    register_runner,
+)
 from repro.sim.config import MemoryKind, SimConfig
-from repro.sim.system import SimResult, run_benchmark
+from repro.sim.system import SimResult
 
 
-def _with_uncore(config: SimConfig, **updates) -> SimConfig:
-    return dataclasses.replace(
-        config, uncore=dataclasses.replace(config.uncore, **updates))
-
-
-def _with_prefetcher(config: SimConfig, **updates) -> SimConfig:
-    prefetcher = dataclasses.replace(config.uncore.prefetcher, **updates)
-    return _with_uncore(config, prefetcher=prefetcher)
-
-
-_APPLIERS: Dict[str, Callable[[SimConfig, object], SimConfig]] = {
-    "mshr_capacity": lambda c, v: _with_uncore(c, mshr_capacity=int(v)),
-    "prefetch_degree": lambda c, v: _with_prefetcher(c, degree=int(v)),
-    "prefetch_distance": lambda c, v: _with_prefetcher(c, distance=int(v)),
-    "prefetcher_enabled": lambda c, v: _with_prefetcher(c, enabled=bool(v)),
-    "rob_size": lambda c, v: dataclasses.replace(
-        c, core=dataclasses.replace(c.core, rob_size=int(v))),
-    "target_dram_reads": lambda c, v: dataclasses.replace(
-        c, target_dram_reads=int(v)),
-}
-
-# Controller-level parameters need a custom memory build; they are
-# handled inside run_point.
-_CONTROLLER_PARAMS = {"read_queue_size", "write_queue_size"}
-
-
-def apply_parameter(config: SimConfig, parameter: str,
-                    value: object) -> SimConfig:
-    """Return a config with ``parameter`` set to ``value``."""
-    if parameter in _CONTROLLER_PARAMS:
-        return config  # applied at memory-build time in run_point
-    try:
-        return _APPLIERS[parameter](config, value)
-    except KeyError:
-        raise ValueError(
-            f"unknown sweep parameter {parameter!r}; "
-            f"known: {sorted(_APPLIERS) + sorted(_CONTROLLER_PARAMS)}"
-        ) from None
-
-
-def run_point(benchmark: str, base: SimConfig, parameter: str,
-              value: object) -> SimResult:
-    """One sweep point."""
-    config = apply_parameter(base, parameter, value)
-    if parameter not in _CONTROLLER_PARAMS:
-        return run_benchmark(benchmark, config)
-
-    # Controller queue sizes: build the memory explicitly.
+@register_runner("sweep_controller_queue")
+def _controller_queue_runner(spec: RunSpec,
+                             config: ExperimentConfig) -> SimResult:
+    """Controller queue sizes need a custom memory build."""
     from repro.memsys.homogeneous import HomogeneousConfig, HomogeneousMemory
     from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
     from repro.workloads.profiles import profile_for
 
-    if config.memory is not MemoryKind.DDR3:
+    sim_config = spec.resolved_sim_config(config)
+    if sim_config.memory is not MemoryKind.DDR3:
         raise ValueError("controller-queue sweeps support the DDR3 "
                          "baseline only")
+    (parameter, value), = spec.params
     cc = ControllerConfig(**{parameter: int(value)})
-    profile = profile_for(benchmark)
-    traces = make_traces(profile, config)
-    system = SimulationSystem(config, traces, profile=profile)
+    profile = profile_for(spec.benchmark)
+    traces = make_traces(profile, sim_config)
+    system = SimulationSystem(sim_config, traces, profile=profile)
     system.memory = HomogeneousMemory(system.events, HomogeneousConfig(),
                                       controller_config=cc)
     system.uncore.memory = system.memory
     prewarm_l2(system, profile)
     result = system.run()
-    result.benchmark = benchmark
+    result.benchmark = spec.benchmark
     return result
+
+
+def sweep_spec(benchmark: str, base: SimConfig, parameter: str,
+               value: object) -> RunSpec:
+    """The declarative spec for one sweep point."""
+    variant = f"sweep:{parameter}={value}"
+    if parameter in _CONTROLLER_PARAMS:
+        return RunSpec(benchmark, base.memory, variant=variant,
+                       runner="sweep_controller_queue",
+                       params=((parameter, value),), base=base)
+    # Validate eagerly so unknown parameters fail before scheduling.
+    apply_parameter(base, parameter, value)
+    return RunSpec(benchmark, base.memory, variant=variant,
+                   overrides=((parameter, value),), base=base)
+
+
+def run_point(benchmark: str, base: SimConfig, parameter: str,
+              value: object) -> SimResult:
+    """One sweep point, in-process."""
+    spec = sweep_spec(benchmark, base, parameter, value)
+    config = ExperimentConfig(target_dram_reads=base.target_dram_reads,
+                              seed=base.seed, cache_dir=None)
+    from repro.experiments.specs import execute_spec
+    return execute_spec(spec, config)
 
 
 def sweep(benchmark: str, parameter: str, values: Sequence[object],
           memory: MemoryKind = MemoryKind.DDR3,
           target_dram_reads: int = 1500,
-          base: SimConfig = None) -> ExperimentTable:
-    """Sweep one parameter; returns a table of performance metrics."""
+          base: SimConfig = None,
+          jobs: Optional[int] = None) -> ExperimentTable:
+    """Sweep one parameter; returns a table of performance metrics.
+
+    ``jobs`` fans the points out over worker processes (None defers to
+    ``REPRO_JOBS``; 1 = serial in-process). Sweeps are not cached —
+    every call simulates.
+    """
     base = base or SimConfig(memory=memory,
                              target_dram_reads=target_dram_reads)
     base = base.with_memory(memory)
+    specs = [sweep_spec(benchmark, base, parameter, value)
+             for value in values]
+    config = ExperimentConfig(target_dram_reads=base.target_dram_reads,
+                              seed=base.seed, cache_dir=None, jobs=jobs)
+    results = run_specs(specs, config, jobs=jobs)
     table = ExperimentTable(
         experiment_id=f"sweep:{parameter}",
         title=f"{benchmark} on {memory.value}: sensitivity to {parameter}",
         columns=[parameter, "throughput", "critical_latency",
                  "fill_latency", "bus_utilization", "dram_reads"])
-    for value in values:
-        result = run_point(benchmark, base, parameter, value)
+    for value, spec in zip(values, specs):
+        result = results[spec]
         table.add(**{parameter: value,
                      "throughput": result.throughput,
                      "critical_latency": result.avg_critical_latency,

@@ -81,6 +81,30 @@ class TelemetrySession:
         self.runs.append(record)
         return record
 
+    def ingest(self, runs: List[dict],
+               trace_events: Optional[List[dict]] = None) -> None:
+        """Merge run records and trace events from a worker process.
+
+        The parallel executor's workers run under their own sessions
+        and ship back plain dicts; trace pids are remapped so each
+        ingested worker session stays a distinct trace process lane.
+        """
+        self.runs.extend(runs)
+        if not trace_events:
+            return
+        pid_map: dict = {}
+        remapped = []
+        for event in trace_events:
+            child_pid = event.get("pid", 0)
+            if child_pid not in pid_map:
+                pid_map[child_pid] = len(self._tracers) + len(pid_map) + 1
+            event = dict(event)
+            event["pid"] = pid_map[child_pid]
+            remapped.append(event)
+        holder = ChromeTracer(pid=max(pid_map.values(), default=0))
+        holder.events = remapped
+        self._tracers.append(holder)
+
     # ------------------------------------------------------------------
 
     def manifest(self, config=None, seed: Optional[int] = None,

@@ -1,0 +1,287 @@
+"""RunSpec pipeline: specs, cache keys, executor, determinism."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.experiments import EXPERIMENT_SPECS, suite_specs
+from repro.experiments.cwf_eval import figure_6, specs_figure_6
+from repro.experiments.executor import (
+    ParallelExecutor,
+    resolve_jobs,
+    resolve_results,
+    run_specs,
+)
+from repro.experiments.homogeneous import figure_1a, specs_figure_1a
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    ResultCache,
+)
+from repro.experiments.specs import (
+    RUNNER_REGISTRY,
+    RunSpec,
+    config_digest,
+    spec_cache_key,
+)
+from repro.sim.config import MemoryKind
+from repro.sim.system import SimResult
+
+
+def make_result(benchmark="b", cycles=10):
+    return SimResult(
+        benchmark=benchmark, memory="ddr3", num_cores=8,
+        elapsed_cycles=cycles, instructions=100, per_core_ipc=[1.0],
+        dram_reads=5, dram_writes=1, demand_reads=5, avg_queue_latency=1.0,
+        avg_core_latency=2.0, avg_critical_latency=3.0, avg_fill_latency=4.0,
+        fast_service_fraction=0.5, bus_utilization=0.1, memory_power_mw=100.0,
+        memory_power_by_family={"ddr3": 100.0}, l2_hit_rate=0.9)
+
+
+class TestRunSpec:
+    def test_hashable_and_equal(self):
+        a = RunSpec("mcf", MemoryKind.RL)
+        b = RunSpec("mcf", MemoryKind.RL)
+        assert a == b and hash(a) == hash(b)
+        assert a != RunSpec("mcf", MemoryKind.RL, variant="noprefetch")
+
+    def test_picklable(self):
+        spec = RunSpec("mcf", MemoryKind.RL, variant="x",
+                       overrides=(("prefetcher_enabled", False),),
+                       runner="r", params=(("k", 1),))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_overrides_resolve(self):
+        config = ExperimentConfig(target_dram_reads=100)
+        spec = RunSpec("mcf", MemoryKind.RL,
+                       overrides=(("prefetcher_enabled", False),
+                                  ("mshr_capacity", 16)))
+        sim = spec.resolved_sim_config(config)
+        assert not sim.uncore.prefetcher.enabled
+        assert sim.uncore.mshr_capacity == 16
+        assert sim.memory is MemoryKind.RL
+
+    def test_label(self):
+        assert RunSpec("mcf", MemoryKind.RL).label == "mcf/rl"
+        assert RunSpec("mcf", MemoryKind.RL,
+                       variant="noprefetch").label == "mcf/rl/noprefetch"
+
+
+class TestCacheKey:
+    def test_v6_versioned(self):
+        key = spec_cache_key(RunSpec("mcf", MemoryKind.DDR3),
+                             ExperimentConfig())
+        assert key.startswith("v6|")
+
+    def test_key_covers_full_sim_config(self):
+        # A config-knob change no old-style key field captured (MSHR
+        # size) must still produce a distinct key.
+        config = ExperimentConfig(target_dram_reads=100)
+        plain = spec_cache_key(RunSpec("mcf", MemoryKind.DDR3), config)
+        tweaked = spec_cache_key(
+            RunSpec("mcf", MemoryKind.DDR3,
+                    overrides=(("mshr_capacity", 16),)), config)
+        assert plain != tweaked
+
+    def test_key_varies_with_reads_and_seed(self):
+        spec = RunSpec("mcf", MemoryKind.DDR3)
+        keys = {
+            spec_cache_key(spec, ExperimentConfig(target_dram_reads=100)),
+            spec_cache_key(spec, ExperimentConfig(target_dram_reads=200)),
+            spec_cache_key(spec, ExperimentConfig(target_dram_reads=100,
+                                                  seed=7)),
+        }
+        assert len(keys) == 3
+
+    def test_digest_stable(self):
+        config = ExperimentConfig(target_dram_reads=100)
+        sim = config.sim_config(MemoryKind.DDR3)
+        assert config_digest(sim) == config_digest(sim)
+
+
+class TestResultCacheAtomicity:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("key", make_result())
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert not leftovers
+        assert cache.get("key").elapsed_cycles == 10
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        errors = []
+
+        def writer(cycles):
+            try:
+                for _ in range(20):
+                    cache.put("key", make_result(cycles=cycles))
+                    loaded = cache.get("key")
+                    # Never a torn/corrupt entry: either version is fine.
+                    assert loaded is not None
+                    assert loaded.elapsed_cycles in (10, 99)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(c,))
+                   for c in (10, 99)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestTableAlignment:
+    def test_long_cells_keep_grid(self):
+        table = ExperimentTable("t", "demo", ["benchmark", "value"])
+        table.add(benchmark="a-very-long-benchmark-name-indeed", value=1.0)
+        table.add(benchmark="b", value=2.0)
+        lines = table.format().splitlines()
+        header, rule, rows = lines[1], lines[2], lines[3:]
+        # Every row padded to the same full width; rule spans the grid.
+        assert len({len(r) for r in rows}) == 1
+        assert len(rows[0]) == len(header) == len(rule)
+        # The value column starts at the same offset in every row.
+        offset = rows[0].index("1.000")
+        assert rows[1][offset:offset + 5] == "2.000"
+
+
+class TestResolveJobs:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+
+class TestExecutor:
+    def counting_runner(self, monkeypatch, calls):
+        def runner(spec, config):
+            calls.append(spec)
+            return make_result(spec.benchmark)
+        monkeypatch.setitem(RUNNER_REGISTRY, "counting", runner)
+        return runner
+
+    def test_dedupes_repeated_specs(self, monkeypatch, tmp_path):
+        calls = []
+        self.counting_runner(monkeypatch, calls)
+        config = ExperimentConfig(target_dram_reads=50,
+                                  cache_dir=str(tmp_path))
+        spec = RunSpec("mcf", MemoryKind.DDR3, runner="counting")
+        results = run_specs([spec, spec, spec], config, jobs=1)
+        assert len(calls) == 1
+        assert results[spec].benchmark == "mcf"
+
+    def test_cache_recall_skips_execution(self, monkeypatch, tmp_path):
+        calls = []
+        self.counting_runner(monkeypatch, calls)
+        config = ExperimentConfig(target_dram_reads=50,
+                                  cache_dir=str(tmp_path))
+        spec = RunSpec("mcf", MemoryKind.DDR3, runner="counting")
+        run_specs([spec], config, jobs=1)
+        executor = ParallelExecutor(config, jobs=1)
+        results = executor.run([spec])
+        assert len(calls) == 1  # second invocation recalled from disk
+        assert executor.timings[0]["cached"] is True
+        assert results[spec].benchmark == "mcf"
+
+    def test_resolve_results_fills_missing(self, monkeypatch, tmp_path):
+        calls = []
+        self.counting_runner(monkeypatch, calls)
+        config = ExperimentConfig(target_dram_reads=50,
+                                  cache_dir=str(tmp_path))
+        have = RunSpec("a", MemoryKind.DDR3, runner="counting")
+        missing = RunSpec("b", MemoryKind.DDR3, runner="counting")
+        results = resolve_results([have, missing], config,
+                                  results={have: make_result("a")})
+        assert set(results) == {have, missing}
+        assert calls == [missing]
+
+    def test_timings_recorded(self, monkeypatch, tmp_path):
+        calls = []
+        self.counting_runner(monkeypatch, calls)
+        config = ExperimentConfig(target_dram_reads=50,
+                                  cache_dir=str(tmp_path))
+        executor = ParallelExecutor(config, jobs=1)
+        executor.run([RunSpec("mcf", MemoryKind.DDR3, runner="counting")])
+        record, = executor.timings
+        assert record["benchmark"] == "mcf"
+        assert record["cached"] is False
+        assert json.dumps(executor.timings)  # artifact-serialisable
+
+
+class TestSuiteSpecs:
+    def test_union_dedupes_shared_baselines(self):
+        config = ExperimentConfig(target_dram_reads=50,
+                                  benchmarks=("mcf",), cache_dir=None)
+        union = suite_specs(["fig6", "fig7", "fig8", "fig9"], config)
+        total = sum(len(EXPERIMENT_SPECS[k](config))
+                    for k in ("fig6", "fig7", "fig8", "fig9"))
+        assert len(union) < total
+        # fig6+fig7 share all 4 runs and fig8's RL/fig9's DDR3+RL are
+        # shared too: {ddr3, rd, rl, dl} + {rl_ad, rl_or, rldram3} = 7.
+        assert len(union) == 7
+
+    def test_every_experiment_has_a_provider(self):
+        from repro.experiments import ALL_EXPERIMENTS
+        assert set(EXPERIMENT_SPECS) == set(ALL_EXPERIMENTS)
+
+
+class TestParallelSerialDeterminism:
+    """Same seed, cold caches: jobs=2 output must equal jobs=1 output."""
+
+    READS = 120
+
+    def _run(self, figure, specs_fn, jobs, cache_dir):
+        config = ExperimentConfig(target_dram_reads=self.READS,
+                                  benchmarks=("mcf",),
+                                  cache_dir=str(cache_dir))
+        results = run_specs(specs_fn(config), config, jobs=jobs)
+        return figure(config, results=results).format()
+
+    def test_figure_1a(self, tmp_path):
+        serial = self._run(figure_1a, specs_figure_1a, 1, tmp_path / "s")
+        parallel = self._run(figure_1a, specs_figure_1a, 2, tmp_path / "p")
+        assert serial == parallel
+
+    def test_figure_6(self, tmp_path):
+        serial = self._run(figure_6, specs_figure_6, 1, tmp_path / "s")
+        parallel = self._run(figure_6, specs_figure_6, 2, tmp_path / "p")
+        assert serial == parallel
+
+
+class TestParallelTelemetry:
+    def test_worker_telemetry_merges_into_session(self, tmp_path):
+        from repro.telemetry import TelemetrySession, activate, deactivate
+
+        session = activate(TelemetrySession(trace_enabled=False))
+        try:
+            config = ExperimentConfig(target_dram_reads=80, cache_dir=None)
+            specs = [RunSpec("mcf", MemoryKind.DDR3),
+                     RunSpec("mcf", MemoryKind.RL)]
+            run_specs(specs, config, jobs=2)
+        finally:
+            deactivate()
+        assert {r["memory"] for r in session.runs} == {"ddr3", "rl"}
+        for record in session.runs:
+            assert "memsys.critical_latency_cycles" in record["metrics"]
+
+    def test_ingest_remaps_trace_pids(self):
+        from repro.telemetry import TelemetrySession
+
+        session = TelemetrySession(trace_enabled=True)
+        session.ingest([], [{"name": "x", "pid": 1, "tid": 0}])
+        session.ingest([], [{"name": "y", "pid": 1, "tid": 0}])
+        pids = [t.events[0]["pid"] for t in session._tracers]
+        assert len(set(pids)) == 2

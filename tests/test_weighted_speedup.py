@@ -2,11 +2,44 @@
 
 import pytest
 
+from repro.energy.model import weighted_speedup
 from repro.sim.config import MemoryKind, SimConfig
 from repro.sim.system import run_weighted_speedup
 
 
+class TestWeightedSpeedupMetric:
+    """Exact arithmetic of sum_i IPC_shared_i / IPC_alone_i."""
+
+    def test_exact_sum_of_ratios(self):
+        assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_identical_ipcs_give_core_count(self):
+        assert weighted_speedup([0.7] * 4, [0.7] * 4) == pytest.approx(4.0)
+
+    def test_core_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0, 1.0], [1.0])
+
+    def test_nonpositive_alone_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+    def test_empty_is_zero(self):
+        assert weighted_speedup([], []) == 0.0
+
+
 class TestWeightedSpeedup:
+    def test_single_core_is_self_relative(self):
+        # With one core there is no sharing: IPC_shared == IPC_alone by
+        # construction, so the metric collapses to exactly 1.0.
+        config = SimConfig(num_cores=1, target_dram_reads=300)
+        assert run_weighted_speedup("mcf", config) == pytest.approx(1.0)
+
+    def test_deterministic_for_fixed_seed(self):
+        config = SimConfig(num_cores=2, target_dram_reads=300)
+        assert (run_weighted_speedup("mcf", config)
+                == run_weighted_speedup("mcf", config))
+
     def test_bounded_by_core_count(self):
         config = SimConfig(num_cores=2, target_dram_reads=300)
         ws = run_weighted_speedup("mcf", config)
