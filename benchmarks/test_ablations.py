@@ -14,8 +14,6 @@ Each ablation flips one design decision and shows its contribution:
 
 import dataclasses
 
-import pytest
-
 from repro.core.cwf import CriticalWordMemory, CWFConfig
 from repro.cpu.prefetch import PrefetcherConfig
 from repro.cpu.uncore import UncoreConfig

@@ -17,7 +17,6 @@ correctness.
 
 import random
 
-from repro import SimConfig, run_benchmark
 from repro.core.cwf import CriticalWordMemory, CWFConfig
 from repro.core.ecc import SECDED, byte_parity, parity_check
 from repro.sim.config import MemoryKind, SimConfig as _SimConfig
@@ -60,7 +59,6 @@ def part2_architecture() -> None:
         events_memory = None
 
         # Build the RL memory directly so we can set the error rate.
-        from repro.util.events import EventQueue
         system = SimulationSystem(
             sim_config, traces,
             memory=None if rate == 0.0 else None,

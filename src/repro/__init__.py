@@ -9,12 +9,17 @@ table and figure in the paper's evaluation.
 
 Quickstart::
 
-    from repro import SimConfig, MemoryKind, run_benchmark
+    from repro import SimConfig, run_benchmark
 
     config = SimConfig(target_dram_reads=4000)
-    base = run_benchmark("leslie3d", config.with_memory(MemoryKind.DDR3))
-    rl = run_benchmark("leslie3d", config.with_memory(MemoryKind.RL))
+    base = run_benchmark("leslie3d", config.with_memory("ddr3"))
+    rl = run_benchmark("leslie3d", config.with_memory("rl"))
     print(f"RL speedup: {rl.speedup_over(base):.3f}")
+
+Memory organisations are pluggable: ``repro.memsys.registry`` maps
+names like ``"ddr3"``, ``"rl"``, or ``"hmc_cwf"`` to backend factories,
+and :func:`register_backend` adds new ones (see DESIGN.md, "Adding a
+memory organisation").
 """
 
 from repro.sim.config import MemoryKind, SimConfig, TABLE1
@@ -23,6 +28,13 @@ from repro.core.cwf import CriticalWordMemory, CWFConfig, CWFPolicy, HeteroPair
 from repro.core.criticality import CriticalityProfiler
 from repro.core.placement import PagePlacementMemory
 from repro.memsys.homogeneous import HomogeneousMemory
+from repro.memsys.registry import (
+    BackendDescriptor,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.workloads.profiles import PROFILES, benchmark_names, profile_for
 
 __version__ = "1.0.0"
@@ -32,6 +44,8 @@ __all__ = [
     "SimResult", "SimulationSystem", "run_benchmark", "make_traces",
     "CriticalWordMemory", "CWFConfig", "CWFPolicy", "HeteroPair",
     "CriticalityProfiler", "PagePlacementMemory", "HomogeneousMemory",
+    "BackendDescriptor", "backend_names", "get_backend", "list_backends",
+    "register_backend",
     "PROFILES", "benchmark_names", "profile_for",
     "__version__",
 ]

@@ -1,7 +1,11 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: regenerate any table or figure, run ad-hoc
+benchmark/memory combinations, and inspect the backend registry.
 
 Usage::
 
+    repro list-backends                   # registered memory organisations
+    repro run --memory hmc_cwf            # one backend, whole suite
+    repro run --memory ddr3,rl,hmc_cwf --benchmarks leslie3d,mcf --jobs 2
     repro-experiment list
     repro-experiment fig6                 # regenerate Figure 6
     repro-experiment fig6,fig7,fig8       # several (shared runs dedupe)
@@ -11,6 +15,10 @@ Usage::
     repro-experiment fig6 --json          # tables as structured JSON
     repro-experiment fig6 --reads 500 --stats-json out.json \
         --trace-out trace.json            # telemetry artefacts
+
+(Both console scripts share this module: ``repro`` and
+``repro-experiment`` accept the same arguments; the experiment id is
+the legacy positional form.)
 
 Results print as text tables; ``--output`` appends them to a file.
 Before any table is built, the requested experiments' declarative
@@ -101,7 +109,133 @@ def _telemetry_wanted(args: argparse.Namespace) -> bool:
     return bool(args.stats_json or args.stats_csv or args.trace_out)
 
 
+# ---------------------------------------------------------------------------
+# Subcommands: list-backends, run
+# ---------------------------------------------------------------------------
+
+
+def _format_backends() -> str:
+    """The backend registry as a fixed-width listing."""
+    from repro.memsys.registry import list_backends
+
+    lines = ["registered memory backends:"]
+    rows = []
+    for d in list_backends():
+        flags = []
+        if d.is_heterogeneous:
+            flags.append("hetero")
+        if d.needs_profile:
+            flags.append("needs-profile")
+        rows.append((d.name, ",".join(d.aliases) or "-",
+                     "+".join(d.dram_families), ",".join(flags) or "-",
+                     d.description))
+    widths = [max(len(r[i]) for r in rows + [("name", "aliases",
+                                              "families", "flags", "")])
+              for i in range(4)]
+    header = ("name", "aliases", "families", "flags", "description")
+    for row in [header] + rows:
+        lines.append("  ".join(col.ljust(widths[i]) if i < 4 else col
+                               for i, col in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def _resolve_memories(names: List[str]) -> List[str]:
+    """Canonicalise CLI memory names; exits with did-you-mean on error."""
+    from repro.memsys.registry import UnknownBackendError, resolve_name
+
+    resolved = []
+    for name in names:
+        try:
+            resolved.append(resolve_name(name))
+        except UnknownBackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(_format_backends(), file=sys.stderr)
+            raise SystemExit(2) from None
+    return list(dict.fromkeys(resolved))
+
+
+def cmd_list_backends(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro list-backends",
+        description="List registered memory backends "
+                    "(names, aliases, capabilities).")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the registry as structured JSON")
+    args = parser.parse_args(argv)
+    if args.json:
+        import json as _json
+        from repro.memsys.registry import list_backends
+        print(_json.dumps([{
+            "name": d.name,
+            "aliases": list(d.aliases),
+            "description": d.description,
+            "paper_section": d.paper_section,
+            **d.capabilities(),
+        } for d in list_backends()], indent=1))
+    else:
+        print(_format_backends())
+    return 0
+
+
+def cmd_run(argv: List[str]) -> int:
+    """Ad-hoc runs: benchmarks x memory backends, one result row each."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run benchmarks on one or more memory backends.")
+    parser.add_argument("--memory", default="ddr3",
+                        help="comma-separated backend names "
+                             "(see 'repro list-backends')")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset "
+                             "(default: whole suite)")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="target demand DRAM fetches per run")
+    parser.add_argument("--cache", default=None,
+                        help="cache directory, or 'off'")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker processes (default REPRO_JOBS "
+                             "or 1; 0 = one per CPU)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the table as structured JSON")
+    args = parser.parse_args(argv)
+    memories = _resolve_memories(
+        [m for m in args.memory.split(",") if m.strip()])
+
+    from repro.experiments.runner import ExperimentTable
+    from repro.experiments.specs import RunSpec
+
+    config = make_config(args)
+    specs = [RunSpec(bench, memory)
+             for bench in config.suite() for memory in memories]
+    executor = ParallelExecutor(config, progress=True)
+    results = executor.run(specs)
+    table = ExperimentTable(
+        experiment_id="run",
+        title="ad-hoc runs: " + ", ".join(memories),
+        columns=["benchmark", "memory", "throughput", "critical_latency",
+                 "fill_latency", "fast_fraction", "bus_utilization"])
+    for spec in specs:
+        result = results[spec]
+        table.add(benchmark=spec.benchmark, memory=spec.memory,
+                  throughput=result.throughput,
+                  critical_latency=result.avg_critical_latency,
+                  fill_latency=result.avg_fill_latency,
+                  fast_fraction=result.fast_service_fraction,
+                  bus_utilization=result.bus_utilization)
+    if args.json:
+        import json as _json
+        print(_json.dumps(table_to_dict(table), indent=1, default=str))
+    else:
+        print(table.format())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "list-backends":
+        return cmd_list_backends(argv[1:])
+    if argv and argv[0] == "run":
+        return cmd_run(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for key in ALL_EXPERIMENTS:

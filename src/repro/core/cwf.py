@@ -34,7 +34,7 @@ Placement policies (Sec 4.2.2 / 4.2.5 / Sec 6.1.1 controls):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.dram.address import AddressMapper, MappingScheme
@@ -414,6 +414,9 @@ class CriticalWordMemory(MemorySystem):
         return out
 
     # --- latency views ---------------------------------------------------
+    # Protocol overrides: the bulk side carries the line fill, so the
+    # queue/core views report bulk controllers only (the fast channel's
+    # shallow queues would dilute the Fig 1b comparison).
 
     def avg_queue_latency(self) -> float:
         done = sum(c.stats.reads_done for c in self.bulk_controllers)
@@ -428,3 +431,16 @@ class CriticalWordMemory(MemorySystem):
             return 0.0
         return sum(c.stats.sum_core_latency
                    for c in self.bulk_controllers) / done
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info.update({
+            "organisation": "critical-word-first",
+            "pair": self.config.pair.value,
+            "policy": self.config.policy.value,
+            "fast_device": self.config.fast_device.part_number,
+            "bulk_device": self.config.bulk_device.part_number,
+            "num_bulk_channels": self.config.num_bulk_channels,
+            "shared_command_bus": self.config.shared_command_bus,
+        })
+        return info

@@ -75,8 +75,9 @@ HMC_LP_DEVICE = DeviceConfig(
     single_command_addressing=True,
 )
 
-# Register an HMC pairing alongside the paper's RD/RL/DL. The enum is
-# closed, so the HMC system is built through this factory instead.
+# The registry backends "hmc_hf" / "hmc_lp" / "hmc_cwf" (see
+# repro.memsys.backends) expose these presets to the CLI, sweeps, and
+# RunSpecs; this factory remains the programmatic entry point.
 
 
 def build_hmc_memory(events: EventQueue,

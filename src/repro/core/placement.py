@@ -14,13 +14,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.cpu.core import TraceRecord
 from repro.dram.address import AddressMapper, MappingScheme
 from repro.dram.channel import Channel
 from repro.dram.controller import ControllerConfig, MemoryController
-from repro.dram.device import DRAMKind, LPDDR2_DEVICE, RLDRAM3_DEVICE
+from repro.dram.device import LPDDR2_DEVICE, RLDRAM3_DEVICE
 from repro.dram.power import ChipActivity
 from repro.dram.request import (
     DecodedAddress,
@@ -177,6 +177,16 @@ class PagePlacementMemory(MemorySystem):
 
     def telemetry_controllers(self) -> List[MemoryController]:
         return self._all_controllers
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info.update({
+            "organisation": "page-placement",
+            "hot_page_fraction": self.config.hot_page_fraction,
+            "hot_pages": len(self._hot_slots),
+            "num_lpddr_channels": self.config.num_lpddr_channels,
+        })
+        return info
 
     def finalize(self) -> None:
         for mc in self._all_controllers:

@@ -8,10 +8,9 @@ controller can deprioritise them behind demand requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.dram.request import LINE_BYTES
 
 
 @dataclass(frozen=True)

@@ -17,13 +17,13 @@ refresh.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.dram.bank import Bank, BankState
+from repro.dram.bank import BankState
 from repro.dram.channel import Channel
 from repro.dram.device import DeviceConfig, PagePolicy
-from repro.dram.request import MemoryRequest, RequestKind, WORDS_PER_LINE
+from repro.dram.request import MemoryRequest, WORDS_PER_LINE
 from repro.dram.rank import PowerState, Rank
 from repro.dram.scheduler import (
     SchedulingPolicy,

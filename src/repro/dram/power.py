@@ -25,8 +25,7 @@ unterminated variant (Sec 7.2) switches both adders off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, replace
 
 from repro.dram.device import DRAMKind
 from repro.dram.timing import TimingParameters

@@ -9,7 +9,7 @@ power-down; wake-up costs ``t_pd_exit``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dram.bank import Bank, BankState

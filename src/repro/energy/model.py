@@ -17,7 +17,7 @@ The paper's assumptions, implemented verbatim:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.dram.device import DRAMKind
 from repro.dram.power import default_power_model

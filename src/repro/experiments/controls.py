@@ -19,7 +19,6 @@ from repro.experiments.runner import (
     default_config,
 )
 from repro.experiments.specs import RunSpec
-from repro.sim.config import MemoryKind
 from repro.sim.system import SimResult
 
 NOPREFETCH = (("prefetcher_enabled", False),)
@@ -28,18 +27,18 @@ NOPREFETCH = (("prefetcher_enabled", False),)
 def specs_random_mapping(config: ExperimentConfig) -> List[RunSpec]:
     return [RunSpec(bench, kind)
             for bench in config.suite()
-            for kind in (MemoryKind.DDR3, MemoryKind.RL,
-                         MemoryKind.RL_RANDOM)]
+            for kind in ("ddr3", "rl",
+                         "rl_random")]
 
 
 def specs_no_prefetcher(config: ExperimentConfig) -> List[RunSpec]:
     specs = []
     for bench in config.suite():
-        specs.append(RunSpec(bench, MemoryKind.DDR3))
-        specs.append(RunSpec(bench, MemoryKind.RL))
-        specs.append(RunSpec(bench, MemoryKind.DDR3, variant="noprefetch",
+        specs.append(RunSpec(bench, "ddr3"))
+        specs.append(RunSpec(bench, "rl"))
+        specs.append(RunSpec(bench, "ddr3", variant="noprefetch",
                              overrides=NOPREFETCH))
-        specs.append(RunSpec(bench, MemoryKind.RL, variant="noprefetch",
+        specs.append(RunSpec(bench, "rl", variant="noprefetch",
                              overrides=NOPREFETCH))
     return specs
 
@@ -56,9 +55,9 @@ def random_mapping(config: ExperimentConfig = None,
         notes="Paper: random mapping yields only +2.1% on average with "
               "severe degradation for low-bias applications.")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
-        rl = results[RunSpec(bench, MemoryKind.RL)]
-        rnd = results[RunSpec(bench, MemoryKind.RL_RANDOM)]
+        base = results[RunSpec(bench, "ddr3")]
+        rl = results[RunSpec(bench, "rl")]
+        rnd = results[RunSpec(bench, "rl_random")]
         table.add(benchmark=bench, rl=rl.speedup_over(base),
                   rl_random=rnd.speedup_over(base),
                   fast_fraction=rnd.fast_service_fraction)
@@ -80,11 +79,11 @@ def no_prefetcher(config: ExperimentConfig = None,
         notes="Paper: RL improves 17.3% without the prefetcher vs 12.9% "
               "with it (more latency left to hide).")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
-        rl = results[RunSpec(bench, MemoryKind.RL)]
-        base_np = results[RunSpec(bench, MemoryKind.DDR3,
+        base = results[RunSpec(bench, "ddr3")]
+        rl = results[RunSpec(bench, "rl")]
+        base_np = results[RunSpec(bench, "ddr3",
                                   variant="noprefetch", overrides=NOPREFETCH)]
-        rl_np = results[RunSpec(bench, MemoryKind.RL,
+        rl_np = results[RunSpec(bench, "rl",
                                 variant="noprefetch", overrides=NOPREFETCH)]
         table.add(benchmark=bench, rl=rl.speedup_over(base),
                   rl_noprefetch=rl_np.speedup_over(base_np))

@@ -27,7 +27,6 @@ from repro.experiments.runner import (
     default_config,
 )
 from repro.experiments.specs import RunSpec, register_runner
-from repro.sim.config import MemoryKind
 from repro.sim.system import SimulationSystem, make_traces, prewarm_l2
 from repro.workloads.profiles import FIG3_BENCHMARKS, profile_for
 
@@ -51,7 +50,7 @@ def shrunken_profile(benchmark: str):
 
 
 def _run_shrunken(benchmark: str, config: ExperimentConfig) -> SimulationSystem:
-    sim_config = config.sim_config(MemoryKind.DDR3)
+    sim_config = config.sim_config("ddr3")
     profile = shrunken_profile(benchmark)
     traces = make_traces(profile, sim_config)
     system = SimulationSystem(sim_config, traces, profile=profile)
@@ -88,12 +87,12 @@ def _fig3_runner(spec: RunSpec, config: ExperimentConfig):
 
 
 def profiling_spec(benchmark: str) -> RunSpec:
-    return RunSpec(benchmark, MemoryKind.DDR3, variant="profiling",
+    return RunSpec(benchmark, "ddr3", variant="profiling",
                    runner="criticality_profiling")
 
 
 def fig3_spec(benchmark: str) -> RunSpec:
-    return RunSpec(benchmark, MemoryKind.DDR3, variant="fig3_profile",
+    return RunSpec(benchmark, "ddr3", variant="fig3_profile",
                    runner="criticality_fig3")
 
 
@@ -105,7 +104,7 @@ def specs_figure_3(config: ExperimentConfig,
 def specs_figure_4(config: ExperimentConfig) -> List[RunSpec]:
     specs = []
     for bench in config.suite():
-        specs.append(RunSpec(bench, MemoryKind.DDR3))
+        specs.append(RunSpec(bench, "ddr3"))
         specs.append(profiling_spec(bench))
     return specs
 
@@ -170,7 +169,7 @@ def figure_4(config: ExperimentConfig = None,
     word0: List[float] = []
     over_half = 0
     for bench in config.suite():
-        result = results[RunSpec(bench, MemoryKind.DDR3)]
+        result = results[RunSpec(bench, "ddr3")]
         dist = result.critical_distribution or [0.0] * 8
         # The adaptive bound needs DRAM-level line *refetches*; use the
         # reuse-heavy profiling pass for that column.

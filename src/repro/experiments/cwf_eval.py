@@ -21,18 +21,17 @@ from repro.experiments.runner import (
     default_config,
 )
 from repro.experiments.specs import RunSpec
-from repro.sim.config import MemoryKind
 from repro.sim.system import SimResult
 
-CWF_KINDS = (MemoryKind.RD, MemoryKind.RL, MemoryKind.DL)
-FIG9_KINDS = (MemoryKind.RL, MemoryKind.RL_ADAPTIVE, MemoryKind.RL_ORACLE,
-              MemoryKind.RLDRAM3)
+CWF_KINDS = ("rd", "rl", "dl")
+FIG9_KINDS = ("rl", "rl_adaptive", "rl_oracle",
+              "rldram3")
 
 
 def specs_figure_6(config: ExperimentConfig) -> List[RunSpec]:
     return [RunSpec(bench, kind)
             for bench in config.suite()
-            for kind in (MemoryKind.DDR3,) + CWF_KINDS]
+            for kind in ("ddr3",) + CWF_KINDS]
 
 
 # Fig 7 needs exactly the Fig 6 runs (latency view of the same sims).
@@ -40,13 +39,13 @@ specs_figure_7 = specs_figure_6
 
 
 def specs_figure_8(config: ExperimentConfig) -> List[RunSpec]:
-    return [RunSpec(bench, MemoryKind.RL) for bench in config.suite()]
+    return [RunSpec(bench, "rl") for bench in config.suite()]
 
 
 def specs_figure_9(config: ExperimentConfig) -> List[RunSpec]:
     return [RunSpec(bench, kind)
             for bench in config.suite()
-            for kind in (MemoryKind.DDR3,) + FIG9_KINDS]
+            for kind in ("ddr3",) + FIG9_KINDS]
 
 
 def figure_6(config: ExperimentConfig = None,
@@ -60,10 +59,10 @@ def figure_6(config: ExperimentConfig = None,
         columns=["benchmark", "rd", "rl", "dl"],
         notes="Paper averages: RD 1.21, RL 1.129, DL 0.91.")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        base = results[RunSpec(bench, "ddr3")]
         row = {"benchmark": bench}
         for kind in CWF_KINDS:
-            row[kind.value] = results[RunSpec(bench, kind)].speedup_over(base)
+            row[kind] = results[RunSpec(bench, kind)].speedup_over(base)
         table.add(**row)
     table.add(benchmark="MEAN", rd=table.mean("rd"), rl=table.mean("rl"),
               dl=table.mean("dl"))
@@ -84,9 +83,9 @@ def figure_7(config: ExperimentConfig = None,
     for bench in config.suite():
         row = {"benchmark": bench}
         row["ddr3"] = results[
-            RunSpec(bench, MemoryKind.DDR3)].avg_critical_latency
+            RunSpec(bench, "ddr3")].avg_critical_latency
         for kind in CWF_KINDS:
-            row[kind.value] = results[
+            row[kind] = results[
                 RunSpec(bench, kind)].avg_critical_latency
         table.add(**row)
     table.add(benchmark="MEAN",
@@ -106,7 +105,7 @@ def figure_8(config: ExperimentConfig = None,
         notes="Paper: word-0 placement serves 67% of critical words on "
               "average (static).")
     for bench in config.suite():
-        rl = results[RunSpec(bench, MemoryKind.RL)]
+        rl = results[RunSpec(bench, "rl")]
         table.add(benchmark=bench, fast_fraction=rl.fast_service_fraction,
                   word0_fraction=rl.word0_fraction)
     table.add(benchmark="MEAN", fast_fraction=table.mean("fast_fraction"),
@@ -126,16 +125,16 @@ def figure_9(config: ExperimentConfig = None,
         notes="Paper averages: RL 1.129, RL AD 1.157, RL OR 1.28, "
               "all-RLDRAM3 1.31.")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        base = results[RunSpec(bench, "ddr3")]
         table.add(
             benchmark=bench,
-            rl=results[RunSpec(bench, MemoryKind.RL)].speedup_over(base),
+            rl=results[RunSpec(bench, "rl")].speedup_over(base),
             rl_ad=results[
-                RunSpec(bench, MemoryKind.RL_ADAPTIVE)].speedup_over(base),
+                RunSpec(bench, "rl_adaptive")].speedup_over(base),
             rl_or=results[
-                RunSpec(bench, MemoryKind.RL_ORACLE)].speedup_over(base),
+                RunSpec(bench, "rl_oracle")].speedup_over(base),
             rldram3=results[
-                RunSpec(bench, MemoryKind.RLDRAM3)].speedup_over(base),
+                RunSpec(bench, "rldram3")].speedup_over(base),
         )
     table.add(benchmark="MEAN",
               **{c: table.mean(c) for c in ("rl", "rl_ad", "rl_or", "rldram3")})

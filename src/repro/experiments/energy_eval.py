@@ -23,7 +23,6 @@ from repro.experiments.runner import (
     default_config,
 )
 from repro.experiments.specs import RunSpec, register_runner
-from repro.sim.config import MemoryKind
 from repro.sim.system import (
     SimResult,
     SimulationSystem,
@@ -32,13 +31,13 @@ from repro.sim.system import (
 )
 from repro.workloads.profiles import profile_for
 
-CWF_KINDS = (MemoryKind.RD, MemoryKind.RL, MemoryKind.DL)
+CWF_KINDS = ("rd", "rl", "dl")
 
 
 @register_runner("sec72_power")
 def _sec72_runner(spec: RunSpec, config: ExperimentConfig) -> SimResult:
     """RL run that also reports server-adapted vs native LPDRAM power."""
-    sim_config = config.sim_config(MemoryKind.RL)
+    sim_config = config.sim_config("rl")
     profile = profile_for(spec.benchmark)
     traces = make_traces(profile, sim_config)
     system = SimulationSystem(sim_config, traces, profile=profile)
@@ -55,26 +54,26 @@ def _sec72_runner(spec: RunSpec, config: ExperimentConfig) -> SimResult:
 
 
 def sec72_spec(benchmark: str) -> RunSpec:
-    return RunSpec(benchmark, MemoryKind.RL, variant="unterminated",
+    return RunSpec(benchmark, "rl", variant="unterminated",
                    runner="sec72_power")
 
 
 def specs_figure_10(config: ExperimentConfig) -> List[RunSpec]:
     return [RunSpec(bench, kind)
             for bench in config.suite()
-            for kind in (MemoryKind.DDR3,) + CWF_KINDS]
+            for kind in ("ddr3",) + CWF_KINDS]
 
 
 def specs_figure_11(config: ExperimentConfig) -> List[RunSpec]:
     return [RunSpec(bench, kind)
             for bench in config.suite()
-            for kind in (MemoryKind.DDR3, MemoryKind.RL)]
+            for kind in ("ddr3", "rl")]
 
 
 def specs_section_7_2(config: ExperimentConfig) -> List[RunSpec]:
     specs = []
     for bench in config.suite():
-        specs.append(RunSpec(bench, MemoryKind.DDR3))
+        specs.append(RunSpec(bench, "ddr3"))
         specs.append(sec72_spec(bench))
     return specs
 
@@ -90,13 +89,13 @@ def figure_10(config: ExperimentConfig = None,
         columns=["benchmark", "rd", "rl", "dl", "rl_memory_energy"],
         notes="Paper: RL system energy -6%, DL -13%; RL memory energy -15%.")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        base = results[RunSpec(bench, "ddr3")]
         model = SystemEnergyModel(base)
         row = {"benchmark": bench}
         for kind in CWF_KINDS:
             result = results[RunSpec(bench, kind)]
-            row[kind.value] = model.report(result).normalized_system_energy
-        rl = results[RunSpec(bench, MemoryKind.RL)]
+            row[kind] = model.report(result).normalized_system_energy
+        rl = results[RunSpec(bench, "rl")]
         row["rl_memory_energy"] = model.report(rl).normalized_memory_energy
         table.add(**row)
     table.add(benchmark="MEAN",
@@ -117,8 +116,8 @@ def figure_11(config: ExperimentConfig = None,
         notes="Paper: energy savings generally increase with utilisation "
               "(RLDRAM's power gap shrinks at high activity).")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
-        rl = results[RunSpec(bench, MemoryKind.RL)]
+        base = results[RunSpec(bench, "ddr3")]
+        rl = results[RunSpec(bench, "rl")]
         model = SystemEnergyModel(base)
         savings = 1.0 - model.report(rl).normalized_system_energy
         table.add(benchmark=bench, bus_utilization=base.bus_utilization,
@@ -142,7 +141,7 @@ def section_7_2(config: ExperimentConfig = None,
     for bench in config.suite():
         result = results[sec72_spec(bench)]
         powers = result.extra["sec72"]
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
+        base = results[RunSpec(bench, "ddr3")]
         base_energy = base.memory_power_mw * base.elapsed_cycles
         adapted_sav = 1 - (powers["adapted_mw"]
                            * result.elapsed_cycles) / base_energy

@@ -166,7 +166,7 @@ class ParallelExecutor:
     def _record(self, spec: RunSpec, seconds: float, cached: bool) -> None:
         self.timings.append({
             "benchmark": spec.benchmark,
-            "memory": spec.memory.value,
+            "memory": spec.memory,
             "variant": spec.variant,
             "runner": spec.runner,
             "seconds": round(seconds, 3),

@@ -18,10 +18,9 @@ from repro.experiments.runner import (
     default_config,
 )
 from repro.experiments.specs import RunSpec
-from repro.sim.config import MemoryKind
 from repro.sim.system import SimResult
 
-FLAVOURS = (MemoryKind.DDR3, MemoryKind.RLDRAM3, MemoryKind.LPDDR2)
+FLAVOURS = ("ddr3", "rldram3", "lpddr2")
 
 
 def specs_figure_1a(config: ExperimentConfig) -> List[RunSpec]:
@@ -44,9 +43,9 @@ def figure_1a(config: ExperimentConfig = None,
         columns=["benchmark", "ddr3", "rldram3", "lpddr2"],
         notes="Paper: RLDRAM3 +31% and LPDDR2 -13% vs DDR3 (suite average).")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
-        rld = results[RunSpec(bench, MemoryKind.RLDRAM3)]
-        lpd = results[RunSpec(bench, MemoryKind.LPDDR2)]
+        base = results[RunSpec(bench, "ddr3")]
+        rld = results[RunSpec(bench, "rldram3")]
+        lpd = results[RunSpec(bench, "lpddr2")]
         table.add(benchmark=bench, ddr3=1.0,
                   rldram3=rld.speedup_over(base),
                   lpddr2=lpd.speedup_over(base))
@@ -69,14 +68,14 @@ def figure_1b(config: ExperimentConfig = None,
     for bench in config.suite():
         for kind in FLAVOURS:
             result = results[RunSpec(bench, kind)]
-            table.add(benchmark=bench, flavour=kind.value,
+            table.add(benchmark=bench, flavour=kind,
                       queue_latency=result.avg_queue_latency,
                       core_latency=result.avg_core_latency,
                       total=result.avg_queue_latency + result.avg_core_latency)
     for kind in FLAVOURS:
-        rows = [r for r in table.rows if r["flavour"] == kind.value]
+        rows = [r for r in table.rows if r["flavour"] == kind]
         queue = sum(r["queue_latency"] for r in rows) / len(rows)
         core = sum(r["core_latency"] for r in rows) / len(rows)
-        table.add(benchmark="MEAN", flavour=kind.value,
+        table.add(benchmark="MEAN", flavour=kind,
                   queue_latency=queue, core_latency=core, total=queue + core)
     return table

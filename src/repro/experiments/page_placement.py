@@ -18,7 +18,6 @@ from repro.experiments.runner import (
     default_config,
 )
 from repro.experiments.specs import RunSpec
-from repro.sim.config import MemoryKind
 from repro.sim.system import SimResult
 
 
@@ -28,8 +27,8 @@ def specs_section_7_1(config: ExperimentConfig) -> List[RunSpec]:
     # page-heat profiling pass before the measured run.
     return [RunSpec(bench, kind)
             for bench in config.suite()
-            for kind in (MemoryKind.DDR3, MemoryKind.RL,
-                         MemoryKind.PAGE_PLACEMENT)]
+            for kind in ("ddr3", "rl",
+                         "page_placement")]
 
 
 def section_7_1(config: ExperimentConfig = None,
@@ -44,9 +43,9 @@ def section_7_1(config: ExperimentConfig = None,
         notes="Paper: page placement varies from -9.3% to +11.2% "
               "(avg ~+8%), below the CWF schemes.")
     for bench in config.suite():
-        base = results[RunSpec(bench, MemoryKind.DDR3)]
-        rl = results[RunSpec(bench, MemoryKind.RL)]
-        pp = results[RunSpec(bench, MemoryKind.PAGE_PLACEMENT)]
+        base = results[RunSpec(bench, "ddr3")]
+        rl = results[RunSpec(bench, "rl")]
+        pp = results[RunSpec(bench, "page_placement")]
         table.add(benchmark=bench,
                   page_placement=pp.speedup_over(base),
                   rl=rl.speedup_over(base),

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.dram.device import DRAMKind
 from repro.dram.power import default_power_model
-from repro.experiments.runner import ExperimentConfig, ExperimentTable, default_config
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
 
 UTILIZATION_POINTS = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
 

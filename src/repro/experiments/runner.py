@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.specs import RunSpec, execute_spec, spec_cache_key
-from repro.sim.config import MemoryKind, SimConfig
+from repro.sim.config import SimConfig
 from repro.sim.system import SimResult
 from repro.telemetry.session import active_session
 from repro.workloads.profiles import benchmark_names
@@ -45,7 +45,7 @@ class ExperimentConfig:
     def suite(self) -> List[str]:
         return list(self.benchmarks) if self.benchmarks else benchmark_names()
 
-    def sim_config(self, memory: MemoryKind) -> SimConfig:
+    def sim_config(self, memory: str) -> SimConfig:
         return SimConfig(memory=memory, seed=self.seed,
                          target_dram_reads=self.target_dram_reads)
 
@@ -148,11 +148,14 @@ def _cache_for(config: ExperimentConfig) -> ResultCache:
     return _caches[key]
 
 
-def run_cached(benchmark: str, memory: MemoryKind,
+def run_cached(benchmark: str, memory: str,
                config: ExperimentConfig,
                variant: str = "",
                runner: Optional[Callable[[], SimResult]] = None) -> SimResult:
     """Run (or recall) one benchmark on one memory organisation.
+
+    ``memory`` is a registry backend name (the deprecated ``MemoryKind``
+    enum is still accepted and canonicalised by :class:`RunSpec`).
 
     ``variant`` distinguishes non-default setups (e.g. "noprefetch");
     ``runner`` overrides the default run for such variants. New code

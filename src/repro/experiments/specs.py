@@ -16,9 +16,12 @@ applied to the resolved :class:`~repro.sim.config.SimConfig`) or as a
 *named runner* — a module-level function registered with
 :func:`register_runner` that a worker process can look up by name.
 
-Cache keys (``v6``) embed a digest of the fully resolved ``SimConfig``
+Cache keys (``v7``) embed a digest of the fully resolved ``SimConfig``
 so any config-knob change — present or future — invalidates stale
-entries instead of silently recalling them.
+entries instead of silently recalling them. ``v7`` switched the memory
+axis from the closed ``MemoryKind`` enum to registry names: specs carry
+a canonical backend-name *string* (picklable with no enum baggage), and
+keys for the same organisation are stable across processes.
 """
 
 from __future__ import annotations
@@ -29,10 +32,11 @@ import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.sim.config import MemoryKind, SimConfig
+from repro.memsys.registry import resolve_name
+from repro.sim.config import SimConfig
 from repro.sim.system import SimResult, run_benchmark
 
-CACHE_KEY_VERSION = "v6"
+CACHE_KEY_VERSION = "v7"
 
 # ---------------------------------------------------------------------------
 # Declarative SimConfig overrides (shared with repro.sweep)
@@ -118,26 +122,32 @@ def resolve_runner(name: str) -> Callable[["RunSpec", object], SimResult]:
 class RunSpec:
     """One simulation, described declaratively.
 
-    ``overrides`` are ``(parameter, value)`` pairs applied to the
-    resolved :class:`SimConfig` through :func:`apply_parameter`;
-    ``runner``/``params`` select a registered named runner for setups a
-    config transform cannot express (offline profiling passes, live
-    power-model reports). ``base`` carries a fully custom
-    :class:`SimConfig` (parameter sweeps) instead of the experiment
-    config's default one.
+    ``memory`` is a registry backend name (aliases and the deprecated
+    ``MemoryKind`` enum are canonicalised at construction, so
+    ``RunSpec("mcf", "rl") == RunSpec("mcf", MemoryKind.RL)`` and both
+    hash alike as dict keys). ``overrides`` are ``(parameter, value)``
+    pairs applied to the resolved :class:`SimConfig` through
+    :func:`apply_parameter`; ``runner``/``params`` select a registered
+    named runner for setups a config transform cannot express (offline
+    profiling passes, live power-model reports). ``base`` carries a
+    fully custom :class:`SimConfig` (parameter sweeps) instead of the
+    experiment config's default one.
     """
 
     benchmark: str
-    memory: MemoryKind
+    memory: str
     variant: str = ""
     overrides: Tuple[Tuple[str, object], ...] = ()
     runner: str = ""
     params: Tuple[Tuple[str, object], ...] = ()
     base: Optional[SimConfig] = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "memory", resolve_name(self.memory))
+
     @property
     def label(self) -> str:
-        parts = [self.benchmark, self.memory.value]
+        parts = [self.benchmark, self.memory]
         if self.variant:
             parts.append(self.variant)
         return "/".join(parts)
@@ -171,7 +181,7 @@ def spec_cache_key(spec: RunSpec, config) -> str:
     """Disk-cache key: spec identity + full resolved-config digest."""
     params = json.dumps(spec.params, sort_keys=True, default=str)
     return "|".join([
-        CACHE_KEY_VERSION, spec.benchmark, spec.memory.value, spec.variant,
+        CACHE_KEY_VERSION, spec.benchmark, spec.memory, spec.variant,
         spec.runner, params, str(config.target_dram_reads), str(config.seed),
         config_digest(spec.resolved_sim_config(config)),
     ])

@@ -1,12 +1,39 @@
-"""Memory-system assemblies: the DDR3 baseline and homogeneous variants.
+"""Memory-system assemblies and the pluggable backend registry.
 
-The heterogeneous critical-word-first systems (the paper's contribution)
-live in :mod:`repro.core`; they implement the same
-:class:`~repro.memsys.base.MemorySystem` interface so that the uncore
-and experiment harness are agnostic to the memory organisation.
+:mod:`repro.memsys.base` defines the formal :class:`MemorySystem`
+protocol every organisation implements; :mod:`repro.memsys.registry`
+holds the string-keyed backend registry (``"ddr3"``, ``"rl"``,
+``"hmc_cwf"``, ...); :mod:`repro.memsys.backends` registers the
+built-in organisations. The heterogeneous critical-word-first systems
+(the paper's contribution) live in :mod:`repro.core`; they implement
+the same protocol so that the uncore and experiment harness are
+agnostic to the memory organisation.
 """
 
-from repro.memsys.base import MemorySystem, MemorySystemStats
+from repro.memsys.base import (
+    MemorySystem,
+    MemorySystemProtocolError,
+    MemorySystemStats,
+    assert_conformant,
+    conformance_problems,
+)
 from repro.memsys.homogeneous import HomogeneousMemory
+from repro.memsys.registry import (
+    BackendDescriptor,
+    DuplicateBackendError,
+    UnknownBackendError,
+    backend_names,
+    create_memory,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_name,
+)
 
-__all__ = ["MemorySystem", "MemorySystemStats", "HomogeneousMemory"]
+__all__ = [
+    "MemorySystem", "MemorySystemStats", "MemorySystemProtocolError",
+    "assert_conformant", "conformance_problems", "HomogeneousMemory",
+    "BackendDescriptor", "DuplicateBackendError", "UnknownBackendError",
+    "backend_names", "create_memory", "get_backend", "list_backends",
+    "register_backend", "resolve_name",
+]

@@ -1,9 +1,19 @@
-"""Abstract interface between the uncore and a main-memory organisation."""
+"""The :class:`MemorySystem` protocol between the uncore and a memory.
+
+Every memory organisation — homogeneous, the paper's CWF pairs, page
+placement, HMC cubes, user plugins — implements this interface. The
+protocol is *formal*: :func:`conformance_problems` enumerates exactly
+what an implementation must provide, the backend registry and the
+simulation harness check it before accepting an instance, and the
+aggregate latency views (``avg_queue_latency`` / ``avg_core_latency``)
+are part of the contract with controller-derived defaults rather than
+optional duck-typed extras.
+"""
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.dram.power import ChipActivity
@@ -60,6 +70,10 @@ class MemorySystem(abc.ABC):
 
     stats: MemorySystemStats
 
+    # Canonical registry name, stamped by the backend registry when the
+    # instance was built through it (None for hand-assembled memories).
+    backend_name: Optional[str] = None
+
     # Telemetry handles default to the shared null sink (class
     # attributes, so subclasses need no __init__ cooperation); an
     # un-instrumented run pays only no-op calls on the hot path.
@@ -114,6 +128,44 @@ class MemorySystem(abc.ABC):
         demands = self._c_demand_reads.value
         return self._h_critical.sum / demands if demands else 0.0
 
+    # --- aggregate latency views (protocol methods, paper Fig 1b) ----
+    #
+    # Abstract-with-default: part of the formal contract (the harness
+    # calls them unconditionally; no getattr probing), with a sensible
+    # controller-derived implementation so most organisations inherit
+    # them for free. Organisations whose notion of "the queue" is more
+    # subtle (e.g. CWF reports the bulk side only) override.
+
+    def avg_queue_latency(self) -> float:
+        """Mean cycles a demand read waited in controller queues."""
+        controllers = self.telemetry_controllers()
+        done = sum(c.stats.reads_done for c in controllers)
+        if not done:
+            return 0.0
+        return sum(c.stats.sum_queue_latency for c in controllers) / done
+
+    def avg_core_latency(self) -> float:
+        """Mean cycles from issue to data once a read left the queue."""
+        controllers = self.telemetry_controllers()
+        done = sum(c.stats.reads_done for c in controllers)
+        if not done:
+            return 0.0
+        return sum(c.stats.sum_core_latency for c in controllers) / done
+
+    def describe(self) -> Dict[str, object]:
+        """Structural self-description (capability hook).
+
+        Telemetry manifests, the CLI, and debugging tools read this
+        instead of poking at implementation attributes. Subclasses
+        should call ``super().describe()`` and add organisation facts
+        (devices, channel counts, policies).
+        """
+        return {
+            "class": type(self).__name__,
+            "backend": self.backend_name,
+            "controllers": [c.name for c in self.telemetry_controllers()],
+        }
+
     @abc.abstractmethod
     def issue_read(self, line_address: int, critical_word: int, core_id: int,
                    is_prefetch: bool,
@@ -138,3 +190,63 @@ class MemorySystem(abc.ABC):
 
     def finalize(self) -> None:
         """Fold any residency tallies; called once at end of run."""
+
+
+# ---------------------------------------------------------------------------
+# Protocol conformance
+# ---------------------------------------------------------------------------
+
+# The formal MemorySystem surface. Everything here must be a callable
+# attribute; ``stats`` must additionally be a MemorySystemStats. The
+# harness (and the backend registry) verify instances against this list
+# once, up front, instead of getattr-probing on the hot path.
+PROTOCOL_METHODS = (
+    "issue_read",
+    "issue_write",
+    "chip_activities",
+    "bus_utilization",
+    "finalize",
+    "avg_queue_latency",
+    "avg_core_latency",
+    "describe",
+    "telemetry_controllers",
+    "attach_telemetry",
+    "export_telemetry",
+)
+
+
+class MemorySystemProtocolError(TypeError):
+    """An object was offered as a MemorySystem but violates the protocol."""
+
+
+def conformance_problems(memory: object) -> List[str]:
+    """Every way ``memory`` falls short of the MemorySystem protocol.
+
+    Returns an empty list for a conformant implementation. Structural
+    (not nominal): a duck-typed object that provides the full surface
+    passes even without inheriting :class:`MemorySystem`, so plugins
+    are free to build on their own base classes.
+    """
+    problems: List[str] = []
+    for name in PROTOCOL_METHODS:
+        attr = getattr(memory, name, None)
+        if attr is None:
+            problems.append(f"missing method {name}()")
+        elif not callable(attr):
+            problems.append(f"attribute {name!r} is not callable")
+    stats = getattr(memory, "stats", None)
+    if stats is None:
+        problems.append("missing 'stats' attribute")
+    elif not isinstance(stats, MemorySystemStats):
+        problems.append(
+            f"'stats' must be a MemorySystemStats, got {type(stats).__name__}")
+    return problems
+
+
+def assert_conformant(memory: object) -> None:
+    """Raise :class:`MemorySystemProtocolError` unless ``memory`` conforms."""
+    problems = conformance_problems(memory)
+    if problems:
+        raise MemorySystemProtocolError(
+            f"{type(memory).__name__} does not implement the MemorySystem "
+            f"protocol: {'; '.join(problems)}")

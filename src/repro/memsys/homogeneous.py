@@ -162,16 +162,16 @@ class HomogeneousMemory(MemorySystem):
                 out.extend([activity] * self.config.devices_per_rank)
         return {self.config.kind.value: out}
 
-    # --- aggregate latency views (paper Fig 1b) -----------------------
+    # The aggregate latency views (paper Fig 1b) come from the protocol
+    # defaults in MemorySystem: every controller serves demand reads.
 
-    def avg_queue_latency(self) -> float:
-        done = sum(c.stats.reads_done for c in self.controllers)
-        if not done:
-            return 0.0
-        return sum(c.stats.sum_queue_latency for c in self.controllers) / done
-
-    def avg_core_latency(self) -> float:
-        done = sum(c.stats.reads_done for c in self.controllers)
-        if not done:
-            return 0.0
-        return sum(c.stats.sum_core_latency for c in self.controllers) / done
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info.update({
+            "organisation": "homogeneous",
+            "dram_kind": self.config.kind.value,
+            "device": self.device.part_number,
+            "num_channels": self.config.num_channels,
+            "ranks_per_channel": self.config.ranks_per_channel,
+        })
+        return info

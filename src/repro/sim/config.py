@@ -1,39 +1,41 @@
-"""Top-level simulation configuration (paper Table 1) and memory-system
-factory descriptors.
+"""Top-level simulation configuration (paper Table 1).
 
-:class:`MemoryKind` enumerates every memory organisation the paper
-evaluates; :func:`build_memory` turns one into a live
-:class:`~repro.memsys.base.MemorySystem` attached to an event queue.
+``SimConfig.memory`` is a *registry name*: any backend registered with
+:mod:`repro.memsys.registry` (canonical name or alias) is a valid
+memory organisation, validated at construction time.
+:func:`build_memory` delegates to the registry, so new organisations —
+HMC cubes, future unterminated-LPDRAM variants, user plugins — need no
+changes here.
+
+:class:`MemoryKind` remains as a **deprecated** thin shim over the
+registry names: existing call sites (and pickled artefacts) that pass
+``MemoryKind.RL`` keep working because every consumer canonicalises
+through :func:`repro.memsys.registry.resolve_name`. New code should use
+plain strings (``"rl"``, ``"hmc_cwf"``, ...).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
-from repro.core.cwf import (
-    CriticalWordMemory,
-    CWFConfig,
-    CWFPolicy,
-    HeteroPair,
-)
-from repro.core.placement import (
-    PagePlacementConfig,
-    PagePlacementMemory,
-    profile_page_heat,
-)
 from repro.cpu.core import CoreConfig
 from repro.cpu.prefetch import PrefetcherConfig
 from repro.cpu.uncore import UncoreConfig
-from repro.dram.device import DRAMKind
 from repro.memsys.base import MemorySystem
-from repro.memsys.homogeneous import HomogeneousConfig, HomogeneousMemory
+from repro.memsys.registry import create_memory, resolve_name
 from repro.util.events import EventQueue
 
 
 class MemoryKind(enum.Enum):
-    """Every memory organisation evaluated in the paper."""
+    """Deprecated: the pre-registry closed enum of organisations.
+
+    Kept so existing call sites and cached artefacts keep working; each
+    member's value is the corresponding registry name. Prefer plain
+    registry names — ``MemoryKind`` cannot name backends registered
+    after this module was written (e.g. the HMC organisations).
+    """
 
     DDR3 = "ddr3"                    # baseline: 4 x 72-bit DDR3
     RLDRAM3 = "rldram3"              # Fig 1 homogeneous
@@ -42,32 +44,16 @@ class MemoryKind(enum.Enum):
     RL = "rl"                        # CWF: RLDRAM3 + LPDDR2 (flagship)
     DL = "dl"                        # CWF: DDR3 + LPDDR2
     RL_ADAPTIVE = "rl_adaptive"      # Sec 4.2.5
-    RL_ORACLE = "rl_oracle"          # Sec 6.1.2 upper bound
+    RL_ORACLE = "rl_oracle"         # Sec 6.1.2 upper bound
     RL_RANDOM = "rl_random"          # Sec 6.1.1 control
     PAGE_PLACEMENT = "page_placement"  # Sec 7.1
-
-
-_CWF_KINDS = {
-    MemoryKind.RD: (HeteroPair.RD, CWFPolicy.STATIC),
-    MemoryKind.RL: (HeteroPair.RL, CWFPolicy.STATIC),
-    MemoryKind.DL: (HeteroPair.DL, CWFPolicy.STATIC),
-    MemoryKind.RL_ADAPTIVE: (HeteroPair.RL, CWFPolicy.ADAPTIVE),
-    MemoryKind.RL_ORACLE: (HeteroPair.RL, CWFPolicy.ORACLE),
-    MemoryKind.RL_RANDOM: (HeteroPair.RL, CWFPolicy.RANDOM),
-}
-
-_HOMOGENEOUS_KINDS = {
-    MemoryKind.DDR3: DRAMKind.DDR3,
-    MemoryKind.RLDRAM3: DRAMKind.RLDRAM3,
-    MemoryKind.LPDDR2: DRAMKind.LPDDR2,
-}
 
 
 @dataclass(frozen=True)
 class SimConfig:
     """Paper Table 1 defaults."""
 
-    memory: MemoryKind = MemoryKind.DDR3
+    memory: str = "ddr3"
     num_cores: int = 8
     cpu_freq_ghz: float = 3.2
     core: CoreConfig = field(default_factory=CoreConfig)
@@ -77,12 +63,17 @@ class SimConfig:
     # for pure-Python wall-clock, the shape is preserved).
     target_dram_reads: int = 12000
 
-    def with_memory(self, memory: MemoryKind) -> "SimConfig":
-        from dataclasses import replace
-        return replace(self, memory=memory)
+    def __post_init__(self) -> None:
+        # Canonicalise eagerly (accepting aliases and the deprecated
+        # MemoryKind enum) so an unknown organisation fails at config
+        # construction, not mid-run, and equal configs hash equally.
+        object.__setattr__(self, "memory", resolve_name(self.memory))
+
+    def with_memory(self, memory) -> "SimConfig":
+        """A copy running on ``memory`` (registry name, alias, or enum)."""
+        return replace(self, memory=resolve_name(memory))
 
     def without_prefetcher(self) -> "SimConfig":
-        from dataclasses import replace
         uncore = UncoreConfig(
             l1=self.uncore.l1, l2=self.uncore.l2,
             mshr_capacity=self.uncore.mshr_capacity,
@@ -120,43 +111,15 @@ def adaptive_tag_seeder(profile, seed_probability: float = 0.8):
 def build_memory(config: SimConfig, events: EventQueue,
                  traces: Optional[Sequence] = None,
                  profile=None) -> MemorySystem:
-    """Instantiate the memory organisation described by ``config``.
+    """Instantiate the memory organisation named by ``config.memory``.
 
-    ``traces`` is required for PAGE_PLACEMENT (offline profiling pass);
-    ``profile`` enables warm adaptive tags for RL_ADAPTIVE.
+    Delegates to the backend registry; the returned instance is
+    protocol-checked. ``traces`` feeds offline profiling passes (page
+    placement); ``profile`` enables warm adaptive tags and synthetic
+    profiling traces for backends that want them.
     """
-    kind = config.memory
-    if kind in _HOMOGENEOUS_KINDS:
-        return HomogeneousMemory(
-            events,
-            HomogeneousConfig(kind=_HOMOGENEOUS_KINDS[kind],
-                              cpu_freq_ghz=config.cpu_freq_ghz))
-    if kind in _CWF_KINDS:
-        pair, policy = _CWF_KINDS[kind]
-        seeder = None
-        if policy is CWFPolicy.ADAPTIVE and profile is not None:
-            seeder = adaptive_tag_seeder(profile)
-        return CriticalWordMemory(
-            events, CWFConfig(pair=pair, policy=policy,
-                              cpu_freq_ghz=config.cpu_freq_ghz),
-            tag_seeder=seeder)
-    if kind is MemoryKind.PAGE_PLACEMENT:
-        # Offline profiling pass (paper Sec 7.1): rank pages over a long
-        # profiling trace — the paper profiles the whole execution, not
-        # just the measured window.
-        if profile is not None:
-            from repro.workloads.synthetic import TraceGenerator
-            profiling = [TraceGenerator(profile, core, config.seed).records(30_000)
-                         for core in range(config.num_cores)]
-        elif traces is not None:
-            profiling = traces
-        else:
-            raise ValueError("PAGE_PLACEMENT needs a profile or traces")
-        ranking = profile_page_heat(profiling)
-        return PagePlacementMemory(
-            events, ranking,
-            PagePlacementConfig(cpu_freq_ghz=config.cpu_freq_ghz))
-    raise ValueError(f"unhandled memory kind {kind}")
+    return create_memory(config.memory, config, events, traces=traces,
+                         profile=profile)
 
 
 # Paper Table 1, for the table-reproduction bench and the README.

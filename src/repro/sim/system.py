@@ -16,9 +16,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.criticality import CriticalityProfiler
 from repro.cpu.core import Core, TraceRecord
 from repro.cpu.uncore import Uncore
-from repro.dram.power import ChipPowerBreakdown, default_power_model
-from repro.memsys.base import MemorySystem
-from repro.sim.config import MemoryKind, SimConfig, build_memory
+from repro.dram.power import default_power_model
+from repro.memsys.base import MemorySystem, assert_conformant
+from repro.sim.config import SimConfig, build_memory
 from repro.telemetry.sampler import Sampler
 from repro.telemetry.session import RunTelemetry, active_session
 from repro.util.events import EventQueue
@@ -86,6 +86,10 @@ class SimulationSystem:
         self.events = EventQueue()
         self.memory = memory if memory is not None else build_memory(
             config, self.events, traces, profile=profile)
+        # Registry-built memories arrive pre-checked; hand-assembled
+        # ones (tests, ablations) are verified here, once, so the
+        # collection path below can call protocol methods directly.
+        assert_conformant(self.memory)
         self.uncore = Uncore(len(traces), self.memory, self.events,
                              config.uncore)
         self.profiler = CriticalityProfiler()
@@ -147,11 +151,9 @@ class SimulationSystem:
         self.memory.finalize()
         power_by_family, total_mw = self._memory_power(elapsed)
         stats = self.memory.stats
-        queue_lat = getattr(self.memory, "avg_queue_latency", lambda: 0.0)()
-        core_lat = getattr(self.memory, "avg_core_latency", lambda: 0.0)()
         result = SimResult(
             benchmark="",
-            memory=self.config.memory.value,
+            memory=self.config.memory,
             num_cores=len(self.cores),
             elapsed_cycles=elapsed,
             instructions=sum(c.instructions for c in self.cores),
@@ -159,8 +161,8 @@ class SimulationSystem:
             dram_reads=self.uncore.dram_reads,
             dram_writes=self.uncore.dram_writes,
             demand_reads=stats.demand_reads,
-            avg_queue_latency=queue_lat,
-            avg_core_latency=core_lat,
+            avg_queue_latency=self.memory.avg_queue_latency(),
+            avg_core_latency=self.memory.avg_core_latency(),
             avg_critical_latency=stats.avg_critical_latency,
             avg_fill_latency=stats.avg_fill_latency,
             fast_service_fraction=stats.fast_service_fraction,
@@ -200,6 +202,7 @@ class SimulationSystem:
         critical = registry.get("memsys.critical_latency_cycles")
         fill = registry.get("memsys.fill_latency_cycles")
         result.telemetry = {
+            "memory": self.memory.describe(),
             "avg_critical_latency": self.memory.derived_avg_critical_latency(),
             "critical_latency": critical.snapshot() if critical else None,
             "fill_latency": fill.snapshot() if fill else None,
@@ -276,7 +279,7 @@ def run_benchmark(benchmark: str, config: SimConfig,
     if telemetry is None:
         session = active_session()
         if session is not None:
-            telemetry = session.begin_run(benchmark, config.memory.value)
+            telemetry = session.begin_run(benchmark, config.memory)
     system = SimulationSystem(config, traces, profile=profile,
                               telemetry=telemetry)
     if warm:

@@ -4,9 +4,13 @@ Architecture papers live and die by sensitivity analyses; this module
 makes them one-liners over the simulator::
 
     from repro.sweep import sweep
-    table = sweep("leslie3d", memory=MemoryKind.RL,
+    table = sweep("leslie3d", memory="rl",
                   parameter="mshr_capacity", values=[16, 64, 256])
     print(table.format())
+
+``memory`` is a registry backend name, so sensitivity studies run
+against any registered organisation — including plugins and the HMC
+backends — without touching this module.
 
 Each sweep point is a declarative
 :class:`~repro.experiments.specs.RunSpec`, so sweeps fan out over the
@@ -36,7 +40,8 @@ from repro.experiments.specs import (
     apply_parameter,
     register_runner,
 )
-from repro.sim.config import MemoryKind, SimConfig
+from repro.memsys.registry import resolve_name
+from repro.sim.config import SimConfig
 from repro.sim.system import SimResult
 
 
@@ -49,7 +54,7 @@ def _controller_queue_runner(spec: RunSpec,
     from repro.workloads.profiles import profile_for
 
     sim_config = spec.resolved_sim_config(config)
-    if sim_config.memory is not MemoryKind.DDR3:
+    if sim_config.memory != "ddr3":
         raise ValueError("controller-queue sweeps support the DDR3 "
                          "baseline only")
     (parameter, value), = spec.params
@@ -91,7 +96,7 @@ def run_point(benchmark: str, base: SimConfig, parameter: str,
 
 
 def sweep(benchmark: str, parameter: str, values: Sequence[object],
-          memory: MemoryKind = MemoryKind.DDR3,
+          memory: str = "ddr3",
           target_dram_reads: int = 1500,
           base: SimConfig = None,
           jobs: Optional[int] = None) -> ExperimentTable:
@@ -101,6 +106,7 @@ def sweep(benchmark: str, parameter: str, values: Sequence[object],
     ``REPRO_JOBS``; 1 = serial in-process). Sweeps are not cached —
     every call simulates.
     """
+    memory = resolve_name(memory)
     base = base or SimConfig(memory=memory,
                              target_dram_reads=target_dram_reads)
     base = base.with_memory(memory)
@@ -111,7 +117,7 @@ def sweep(benchmark: str, parameter: str, values: Sequence[object],
     results = run_specs(specs, config, jobs=jobs)
     table = ExperimentTable(
         experiment_id=f"sweep:{parameter}",
-        title=f"{benchmark} on {memory.value}: sensitivity to {parameter}",
+        title=f"{benchmark} on {memory}: sensitivity to {parameter}",
         columns=[parameter, "throughput", "critical_latency",
                  "fill_latency", "bus_utilization", "dram_reads"])
     for value, spec in zip(values, specs):

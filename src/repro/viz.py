@@ -12,7 +12,7 @@ the examples and handy in a REPL::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentTable
 

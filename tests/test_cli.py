@@ -46,3 +46,48 @@ class TestMain:
                      "--cache", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "fast_fraction" in out
+
+
+class TestListBackendsSubcommand:
+    def test_lists_all_backends(self, capsys):
+        assert main(["list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ddr3", "rl", "page_placement", "hmc_cwf"):
+            assert name in out
+        assert "hetero" in out and "needs-profile" in out
+
+    def test_json_shape(self, capsys):
+        import json
+
+        assert main(["list-backends", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {e["name"]: e for e in entries}
+        assert by_name["hmc_cwf"]["is_heterogeneous"] is True
+        assert "hmc" in by_name["hmc_cwf"]["aliases"]
+        assert by_name["rl_adaptive"]["needs_profile"] is True
+
+
+class TestRunSubcommand:
+    def test_run_table(self, capsys, tmp_path):
+        assert main(["run", "--memory", "ddr3,hmc_cwf",
+                     "--benchmarks", "mcf", "--reads", "120",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "hmc_cwf" in out and "critical_latency" in out
+
+    def test_alias_canonicalised_and_deduped(self, capsys, tmp_path):
+        assert main(["run", "--memory", "baseline,ddr3",
+                     "--benchmarks", "mcf", "--reads", "120",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ddr3") == 2  # title + single table row
+        assert "baseline" not in out
+
+    def test_unknown_memory_exits_2_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--memory", "hmc_cfw", "--benchmarks", "mcf",
+                  "--reads", "120", "--cache", "off"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "hmc_cwf" in err
+        assert "registered memory backends" in err

@@ -1,10 +1,8 @@
 """Memory-controller behaviour: latencies, scheduling, drains, refresh."""
 
-import pytest
-
 from repro.dram.channel import Channel
 from repro.dram.controller import ControllerConfig, MemoryController
-from repro.dram.device import DDR3_DEVICE, LPDDR2_DEVICE, RLDRAM3_DEVICE
+from repro.dram.device import DDR3_DEVICE, RLDRAM3_DEVICE
 from repro.dram.request import DecodedAddress, MemoryRequest, RequestKind
 from repro.dram.scheduler import SchedulingPolicy
 from repro.dram.timing import DDR3_TIMING, RLDRAM3_TIMING, TimingSet

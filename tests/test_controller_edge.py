@@ -1,7 +1,5 @@
 """Controller edge cases: power-down, idle-row close, progress bounds."""
 
-import pytest
-
 from repro.dram.channel import Channel
 from repro.dram.controller import ControllerConfig, MemoryController
 from repro.dram.device import DDR3_DEVICE, LPDDR2_DEVICE

@@ -1,7 +1,5 @@
 """Event-driven core model: fetch/retire arithmetic and ROB blocking."""
 
-import pytest
-
 from repro.cpu.core import AccessResult, Core, CoreConfig, TraceRecord
 from repro.util.events import EventQueue
 

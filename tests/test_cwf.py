@@ -1,7 +1,5 @@
 """The critical-word-first heterogeneous memory system."""
 
-import pytest
-
 from repro.core.cwf import (
     CriticalWordMemory,
     CWFConfig,

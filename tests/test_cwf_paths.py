@@ -1,7 +1,5 @@
 """Deeper CWF paths: non-aggregated bus, DL/RD pairs, drain interplay."""
 
-import pytest
-
 from repro.core.cwf import CriticalWordMemory, CWFConfig, CWFPolicy, HeteroPair
 from repro.dram.device import DRAMKind
 from repro.util.events import EventQueue
@@ -30,7 +28,7 @@ class TestUnaggregatedBus:
         stride = memory.bulk_mapper.lines_per_row
         logs = [run_read(events, memory, line * stride, 0)
                 for line in range(8)]
-        assert all(l["crit"] < l["done"] for l in logs)
+        assert all(entry["crit"] < entry["done"] for entry in logs)
         # Fast requests spread across the four per-channel controllers.
         done = [mc.stats.reads_done for mc in memory.fast_controllers]
         assert sum(done) == 8

@@ -1,7 +1,5 @@
 """SECDED(72,64), byte parity, and the fault injector."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

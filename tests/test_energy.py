@@ -1,7 +1,5 @@
 """System energy model (paper Sec 6.1.3 methodology)."""
 
-import dataclasses
-
 import pytest
 
 from repro.energy.model import (

@@ -1,7 +1,5 @@
 """Experiment runner, cache, and fast (non-simulation) experiments."""
 
-import dataclasses
-
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS

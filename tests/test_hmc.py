@@ -1,7 +1,5 @@
 """HMC critical-data-first extension (paper Sec 10 future work)."""
 
-import pytest
-
 from repro.core.hmc import (
     HMC_HF_DEVICE,
     HMC_HF_TIMING,
@@ -9,7 +7,6 @@ from repro.core.hmc import (
     build_hmc_memory,
 )
 from repro.core.cwf import CWFPolicy
-from repro.cpu.core import TraceRecord
 from repro.sim.config import SimConfig
 from repro.sim.system import SimulationSystem
 from repro.util.events import EventQueue

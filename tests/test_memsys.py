@@ -1,7 +1,5 @@
 """Homogeneous memory system and the page-placement alternative."""
 
-import pytest
-
 from repro.core.placement import (
     PAGE_LINES,
     PagePlacementConfig,

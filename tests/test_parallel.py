@@ -4,8 +4,6 @@ import json
 import pickle
 import threading
 
-import pytest
-
 from repro.experiments import EXPERIMENT_SPECS, suite_specs
 from repro.experiments.cwf_eval import figure_6, specs_figure_6
 from repro.experiments.executor import (
@@ -61,7 +59,7 @@ class TestRunSpec:
         sim = spec.resolved_sim_config(config)
         assert not sim.uncore.prefetcher.enabled
         assert sim.uncore.mshr_capacity == 16
-        assert sim.memory is MemoryKind.RL
+        assert sim.memory == "rl"
 
     def test_label(self):
         assert RunSpec("mcf", MemoryKind.RL).label == "mcf/rl"
@@ -70,10 +68,10 @@ class TestRunSpec:
 
 
 class TestCacheKey:
-    def test_v6_versioned(self):
+    def test_v7_versioned(self):
         key = spec_cache_key(RunSpec("mcf", MemoryKind.DDR3),
                              ExperimentConfig())
-        assert key.startswith("v6|")
+        assert key.startswith("v7|")
 
     def test_key_covers_full_sim_config(self):
         # A config-knob change no old-style key field captured (MSHR

@@ -9,7 +9,6 @@ from repro.dram.power import (
     DDR3_CURRENTS,
     IddCurrents,
     LPDDR2_NATIVE_CURRENTS,
-    RLDRAM3_CURRENTS,
     default_power_model,
     lpddr2_server_currents,
 )

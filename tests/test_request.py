@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dram.request import (
-    DecodedAddress,
     LINE_BYTES,
     MemoryRequest,
     RequestKind,

@@ -1,7 +1,5 @@
 """SimConfig memory factory and the adaptive tag seeder."""
 
-import pytest
-
 from repro.core.cwf import CriticalWordMemory, CWFPolicy, HeteroPair
 from repro.core.placement import PagePlacementMemory
 from repro.memsys.homogeneous import HomogeneousMemory

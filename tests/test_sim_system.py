@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim.config import MemoryKind, SimConfig, TABLE1, build_memory
 from repro.sim.system import (
-    SimResult,
     SimulationSystem,
     make_traces,
     prewarm_l2,
@@ -91,7 +90,7 @@ class TestPrewarm:
 class TestConfigHelpers:
     def test_with_memory(self):
         config = SMALL.with_memory(MemoryKind.RL)
-        assert config.memory is MemoryKind.RL
+        assert config.memory == "rl"
         assert config.target_dram_reads == SMALL.target_dram_reads
 
     def test_without_prefetcher(self):

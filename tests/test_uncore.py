@@ -1,7 +1,5 @@
 """Uncore: cache hierarchy paths, write-allocate, CWF wake plumbing."""
 
-import pytest
-
 from repro.cpu.cache import CacheConfig
 from repro.cpu.core import AccessResult
 from repro.cpu.prefetch import PrefetcherConfig
@@ -214,7 +212,8 @@ class TestPrefetchPath:
         events = EventQueue()
         uncore, memory = tiny_uncore(events)
         seen = []
-        uncore.demand_miss_observer = lambda c, l, w: seen.append((c, l, w))
+        uncore.demand_miss_observer = (
+            lambda c, line, w: seen.append((c, line, w)))
         uncore.access(0, False, 3 * 64 + 2 * 8, lambda t: None)
         assert seen == [(0, 3, 2)]
         assert uncore.dram_reads == 1

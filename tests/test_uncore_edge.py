@@ -3,10 +3,9 @@
 import pytest
 
 from repro.cpu.cache import CacheConfig
-from repro.cpu.core import AccessResult
 from repro.cpu.prefetch import PrefetcherConfig
 from repro.cpu.uncore import Uncore, UncoreConfig
-from repro.sim.config import MemoryKind, SimConfig
+from repro.sim.config import SimConfig
 from repro.sim.system import SimulationSystem
 from repro.cpu.core import TraceRecord
 from repro.util.events import EventQueue

@@ -1,7 +1,5 @@
 """Analytic latency validation must pass exactly."""
 
-import pytest
-
 from repro.dram.device import DDR3_DEVICE, LPDDR2_DEVICE, RLDRAM3_DEVICE
 from repro.validate import ValidationCheck, validate_all, validate_device
 

@@ -1,7 +1,5 @@
 """Terminal visualisation helpers."""
 
-import pytest
-
 from repro.experiments.runner import ExperimentTable
 from repro.viz import bar_chart, render_bars, scatter, table_scatter
 
