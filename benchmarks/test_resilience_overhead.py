@@ -1,0 +1,72 @@
+"""Resilience overhead bench: the executor's failure-handling machinery
+must be free when nothing fails.
+
+Three scheduling modes over the same spec list — a plain in-process
+loop (no executor), the serial executor with the default no-retry
+policy, and the serial executor with a generous retry/timeout policy —
+so any bookkeeping cost the resilience layer adds to the happy path
+shows up as a ratio. The faulty-path costs (pool respawns, backoff
+sleeps) are intentional and not measured here; they only occur when
+something already went wrong.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ParallelExecutor,
+    RetryPolicy,
+    RunSpec,
+    execute_spec,
+)
+
+BENCH = "mcf"
+READS = 800
+FLAVOURS = ("ddr3", "rldram3")
+
+
+def _config():
+    # cache off: every mode must do the same real work every round.
+    return ExperimentConfig(target_dram_reads=READS, benchmarks=(BENCH,),
+                            cache_dir=None)
+
+
+def _specs():
+    return [RunSpec(BENCH, kind) for kind in FLAVOURS]
+
+
+@pytest.mark.benchmark(group="resilience-overhead")
+def test_plain_loop(benchmark):
+    config = _config()
+
+    def run():
+        return [execute_spec(spec, config) for spec in _specs()]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(r.elapsed_cycles > 0 for r in results)
+
+
+@pytest.mark.benchmark(group="resilience-overhead")
+def test_serial_executor_no_policy(benchmark):
+    config = _config()
+
+    def run():
+        return ParallelExecutor(config, jobs=1).run(_specs())
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(r.elapsed_cycles > 0 for r in results.values())
+
+
+@pytest.mark.benchmark(group="resilience-overhead")
+def test_serial_executor_with_retry_policy(benchmark):
+    config = _config()
+    policy = RetryPolicy(max_retries=3, timeout_s=300.0)
+
+    def run():
+        executor = ParallelExecutor(config, jobs=1, policy=policy,
+                                    keep_going=True)
+        return executor.run(_specs()), executor
+
+    (results, executor) = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not executor.failures  # nothing failed, nothing retried
+    assert all(r.elapsed_cycles > 0 for r in results.values())

@@ -29,6 +29,12 @@ processes — ``--jobs 0`` means one per CPU, ``--jobs 1`` (default) is
 fully deterministic in-process execution; both modes emit byte-identical
 tables for the same seed. Per-spec progress and timing go to stderr;
 ``--timings-json`` writes them as JSON.
+``--retries N`` re-runs crashed/hung/corrupt specs (exponential backoff,
+deterministic jitter), ``--timeout SEC`` bounds each spec's wall clock
+(parallel mode), and ``--keep-going`` turns exhausted failures into
+``—`` table cells plus a failure appendix instead of aborting — see
+``repro.experiments.resilience`` (and ``REPRO_FAULT_PLAN`` for
+deterministic fault injection to test all of it).
 ``--stats-json``/``--stats-csv`` dump the full metrics registry of every
 simulated run (per-channel latency histograms, per-bank counters, run
 manifest); ``--trace-out`` writes a Chrome ``trace_event`` JSON viewable
@@ -46,6 +52,8 @@ from typing import List, Optional
 from repro.experiments import (
     ALL_EXPERIMENTS,
     ParallelExecutor,
+    SuiteError,
+    failure_appendix,
     suite_specs,
 )
 from repro.experiments.runner import ExperimentConfig, default_config
@@ -73,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel worker processes (default REPRO_JOBS "
                              "or 1; 0 = one per CPU)")
+    add_resilience_args(parser)
     parser.add_argument("--output", default=None,
                         help="append formatted tables to this file")
     parser.add_argument("--json", action="store_true",
@@ -88,6 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Failure-handling flags shared by the experiment and run commands."""
+    group = parser.add_argument_group("failure handling")
+    group.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="re-run a crashed/hung/corrupt spec up to N "
+                            "times (default REPRO_RETRIES or 0)")
+    group.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-spec wall-clock deadline in seconds, "
+                            "enforced with --jobs >= 2 "
+                            "(default REPRO_TIMEOUT or none)")
+    group.add_argument("--keep-going", action="store_true", default=None,
+                       help="record failed specs as '—' cells plus a "
+                            "failure appendix instead of aborting the suite")
+    group.add_argument("--fail-fast", action="store_true",
+                       help="abort on the first spec that exhausts its "
+                            "retries (the default; overrides "
+                            "REPRO_KEEP_GOING)")
+    group.add_argument("--degrade-serial", action="store_true", default=None,
+                       help="as a last resort, re-run an exhausted spec "
+                            "once in-process (never for timeouts)")
+
+
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
     config = default_config()
     kwargs = {}
@@ -99,10 +130,32 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["cache_dir"] = None if args.cache == "off" else args.cache
     if getattr(args, "jobs", None) is not None:
         kwargs["jobs"] = args.jobs
+    if getattr(args, "retries", None) is not None:
+        kwargs["retries"] = args.retries
+    if getattr(args, "timeout", None) is not None:
+        kwargs["timeout_s"] = args.timeout
+    if getattr(args, "keep_going", None):
+        kwargs["keep_going"] = True
+    if getattr(args, "fail_fast", False):
+        kwargs["keep_going"] = False
+    if getattr(args, "degrade_serial", None):
+        kwargs["degrade_serial"] = True
     if kwargs:
         from dataclasses import replace
         config = replace(config, **kwargs)
     return config
+
+
+def _report_failures(executor: ParallelExecutor,
+                     output: Optional[str] = None) -> None:
+    """Print (and optionally append to a file) the failure appendix."""
+    if not executor.failures:
+        return
+    appendix = failure_appendix(executor.failures)
+    print(appendix)
+    if output:
+        with open(output, "a") as handle:
+            handle.write(appendix + "\n\n")
 
 
 def _telemetry_wanted(args: argparse.Namespace) -> bool:
@@ -195,6 +248,7 @@ def cmd_run(argv: List[str]) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel worker processes (default REPRO_JOBS "
                              "or 1; 0 = one per CPU)")
+    add_resilience_args(parser)
     parser.add_argument("--json", action="store_true",
                         help="emit the table as structured JSON")
     args = parser.parse_args(argv)
@@ -208,7 +262,14 @@ def cmd_run(argv: List[str]) -> int:
     specs = [RunSpec(bench, memory)
              for bench in config.suite() for memory in memories]
     executor = ParallelExecutor(config, progress=True)
-    results = executor.run(specs)
+    try:
+        results = executor.run(specs)
+    except SuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: --retries N retries failed specs, --keep-going "
+              "renders them as '—' cells instead of aborting",
+              file=sys.stderr)
+        return 1
     table = ExperimentTable(
         experiment_id="run",
         title="ad-hoc runs: " + ", ".join(memories),
@@ -227,6 +288,7 @@ def cmd_run(argv: List[str]) -> int:
         print(_json.dumps(table_to_dict(table), indent=1, default=str))
     else:
         print(table.format())
+    _report_failures(executor)
     return 0
 
 
@@ -260,7 +322,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # specs: shared baselines run once, in parallel when jobs > 1.
         executor = ParallelExecutor(config, progress=True)
         suite_start = time.time()
-        results = executor.run(suite_specs(keys, config))
+        try:
+            results = executor.run(suite_specs(keys, config))
+        except SuiteError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print("hint: --retries N retries failed specs, --keep-going "
+                  "renders them as '—' cells instead of aborting",
+                  file=sys.stderr)
+            return 1
         for key in keys:
             start = time.time()
             table = ALL_EXPERIMENTS[key](config, results=results)
@@ -277,6 +346,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.output:
                 with open(args.output, "a") as handle:
                     handle.write(text + "\n\n")
+        _report_failures(executor, output=args.output)
     finally:
         if session is not None:
             deactivate()

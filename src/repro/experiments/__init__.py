@@ -19,6 +19,13 @@ Environment knobs:
 * ``REPRO_JOBS`` — parallel worker processes (default 1 = serial
   in-process; 0 = one per CPU). Parallel and serial runs emit
   byte-identical tables for the same seed.
+* ``REPRO_RETRIES`` / ``REPRO_TIMEOUT`` / ``REPRO_KEEP_GOING`` —
+  failure handling: retries per failed spec, per-spec wall-clock
+  timeout in seconds (parallel mode), and whether exhausted specs
+  become ``—`` cells instead of aborting the suite (see
+  :mod:`repro.experiments.resilience`).
+* ``REPRO_FAULT_PLAN`` — deterministic fault injection for testing
+  the above (``"mcf/ddr3=crash;mcf/rldram3=hang:*:20"``).
 """
 
 from repro.experiments.executor import (
@@ -33,6 +40,14 @@ from repro.experiments.runner import (
     ResultCache,
     default_config,
     run_cached,
+)
+from repro.experiments.resilience import (
+    MISSING,
+    FailedRun,
+    FaultPlan,
+    RetryPolicy,
+    SuiteError,
+    failure_appendix,
 )
 from repro.experiments.specs import (
     RunSpec,
@@ -107,4 +122,6 @@ __all__ = ["ExperimentConfig", "ExperimentTable", "ResultCache", "RunSpec",
            "ParallelExecutor", "default_config", "run_cached", "run_specs",
            "resolve_results", "resolve_jobs", "execute_spec",
            "register_runner", "spec_cache_key", "suite_specs",
-           "ALL_EXPERIMENTS", "EXPERIMENT_SPECS"]
+           "ALL_EXPERIMENTS", "EXPERIMENT_SPECS",
+           "MISSING", "FailedRun", "FaultPlan", "RetryPolicy", "SuiteError",
+           "failure_appendix"]

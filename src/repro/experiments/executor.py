@@ -11,12 +11,30 @@ for the same seed — results are keyed by spec, so completion order
 never leaks into table order, and every simulation is deterministic
 given its config.
 
+Failure handling (see :mod:`repro.experiments.resilience`): every
+attempt that crashes, times out, breaks the pool, or returns a corrupt
+result is classified and retried under the executor's
+:class:`~repro.experiments.resilience.RetryPolicy` (bounded retries,
+exponential backoff with deterministic jitter). A ``BrokenProcessPool``
+no longer aborts the suite — the pool is respawned and in-flight specs
+resubmitted; a spec past its per-spec timeout tears the (uncancellable)
+pool down, charges only the overdue spec an attempt, and resubmits the
+collateral in-flight specs for free. Exhausted specs can optionally
+degrade to one in-process serial run as a last resort; with
+``keep_going`` a still-failing spec is recorded as a
+:class:`~repro.experiments.resilience.FailedRun` sentinel (its table
+cells render as ``—``) instead of raising
+:class:`~repro.experiments.resilience.SuiteError`. ``Ctrl-C`` cancels
+outstanding futures and terminates workers instead of stranding them.
+
 Workers return picklable :class:`~repro.sim.system.SimResult` records
-plus their telemetry (run summaries and trace events), which the parent
-merges into the active :class:`~repro.telemetry.session.TelemetrySession`.
-Workers also write their results straight into the shared
+plus their telemetry (run summaries, trace events, and counters), which
+the parent merges into the active
+:class:`~repro.telemetry.session.TelemetrySession`. Workers also write
+their results straight into the shared
 :class:`~repro.experiments.runner.ResultCache` (safe for concurrent
-writers) so a crashed suite still persists completed runs.
+writers) so a crashed suite still persists completed runs — re-running
+the same suite resumes from those entries.
 """
 
 from __future__ import annotations
@@ -27,6 +45,16 @@ import sys
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.experiments.resilience import (
+    BROKEN_POOL,
+    CORRUPT_RESULT,
+    TIMEOUT,
+    FailedRun,
+    RetryPolicy,
+    SuiteError,
+    classify_failure,
+    is_valid_result,
+)
 from repro.experiments.specs import RunSpec, execute_spec, spec_cache_key
 from repro.sim.system import SimResult
 from repro.telemetry.session import (
@@ -43,18 +71,26 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         env = os.environ.get("REPRO_JOBS", "").strip()
         if not env:
             return 1
-        jobs = int(env)
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer worker count, got {env!r}; "
+                "use N for N workers, 0 for one per CPU, or unset it for "
+                "the default (1, serial)") from None
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return max(1, jobs)
 
 
-def _worker_execute(spec: RunSpec, config, telemetry_opts: Optional[dict]):
+def _worker_execute(spec: RunSpec, config, telemetry_opts: Optional[dict],
+                    attempt: int = 1):
     """Process-pool entry point: run one spec, return picklable results.
 
     Imports inside the function make sure a fresh worker registers the
     named runners before resolving them, and each worker gets its own
     telemetry session (the parent merges the returned records).
+    ``attempt`` feeds the deterministic fault-injection plan.
     """
     import repro.experiments  # noqa: F401  (populate the runner registry)
     from repro.experiments.runner import ResultCache
@@ -63,29 +99,39 @@ def _worker_execute(spec: RunSpec, config, telemetry_opts: Optional[dict]):
     if telemetry_opts is not None:
         session = activate(TelemetrySession(**telemetry_opts))
     try:
-        result = execute_spec(spec, config)
+        result = execute_spec(spec, config, attempt=attempt)
     finally:
         if session is not None:
             deactivate()
-    ResultCache(config.cache_dir).put(spec_cache_key(spec, config), result)
+    if is_valid_result(result):
+        ResultCache(config.cache_dir).put(spec_cache_key(spec, config), result)
     runs: List[dict] = session.runs if session is not None else []
     trace_events: List[dict] = []
     if session is not None:
         for tracer in session._tracers:
             trace_events.extend(tracer.events)
-    return result, runs, trace_events
+    counters: Dict[str, int] = dict(session.counters) if session else {}
+    return result, runs, trace_events, counters
 
 
 class ParallelExecutor:
     """Runs a deduped spec list, returning ``{spec: SimResult}``.
 
     ``progress=True`` emits one stderr line per completed spec (label,
-    wall time, cached/ran); the same records accumulate in
-    :attr:`timings` for ``--timings-json`` artifacts.
+    wall time, cached/ran/failed); the same records accumulate in
+    :attr:`timings` for ``--timings-json`` artifacts. Resilience knobs
+    default from the config (``retries``/``timeout_s``/``keep_going``/
+    ``degrade_serial`` fields) but can be overridden per executor; the
+    :attr:`failures` list collects every
+    :class:`~repro.experiments.resilience.FailedRun` recorded under
+    ``keep_going`` for the failure appendix.
     """
 
     def __init__(self, config, jobs: Optional[int] = None,
-                 progress: bool = False) -> None:
+                 progress: bool = False,
+                 policy: Optional[RetryPolicy] = None,
+                 keep_going: Optional[bool] = None,
+                 degrade_serial: Optional[bool] = None) -> None:
         from repro.experiments.runner import ResultCache
 
         self.config = config
@@ -94,6 +140,16 @@ class ParallelExecutor:
         self.progress = progress
         self.cache = ResultCache(config.cache_dir)
         self.timings: List[dict] = []
+        self.policy = policy if policy is not None else RetryPolicy(
+            max_retries=getattr(config, "retries", 0) or 0,
+            timeout_s=getattr(config, "timeout_s", None))
+        self.keep_going = (keep_going if keep_going is not None
+                           else bool(getattr(config, "keep_going", False)))
+        self.degrade_serial = (
+            degrade_serial if degrade_serial is not None
+            else bool(getattr(config, "degrade_serial", False)))
+        self.failures: List[FailedRun] = []
+        self.counters: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -127,14 +183,43 @@ class ParallelExecutor:
         """Deterministic in-process execution (``jobs=1``).
 
         Runs under the parent's telemetry session, exactly like the
-        pre-pipeline harness did.
+        pre-pipeline harness did. Retries and failure classification
+        apply as in the parallel path; per-spec timeouts do *not* — a
+        running in-process simulation cannot be interrupted, so
+        deadline enforcement needs ``jobs >= 2``.
         """
-        for spec in pending:
+        queue = [(spec, 1) for spec in pending]
+        while queue:
+            spec, attempt = queue.pop(0)
+            if attempt > 1:
+                time.sleep(self.policy.backoff_s(attempt - 1, spec.label))
             start = time.perf_counter()
-            result = execute_spec(spec, self.config)
-            self.cache.put(spec_cache_key(spec, self.config), result)
-            results[spec] = result
-            self._record(spec, time.perf_counter() - start, cached=False)
+            error: Optional[BaseException] = None
+            kind = ""
+            try:
+                result = execute_spec(spec, self.config, attempt=attempt)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                error, kind = exc, classify_failure(exc)
+            else:
+                if is_valid_result(result):
+                    self.cache.put(spec_cache_key(spec, self.config), result)
+                    results[spec] = result
+                    self._record(spec, time.perf_counter() - start,
+                                 cached=False, attempt=attempt)
+                    continue
+                error = TypeError(
+                    f"runner returned {type(result).__name__}, "
+                    "not SimResult")
+                kind = CORRUPT_RESULT
+            retry = self._register_failure(
+                spec, kind, attempt, error,
+                time.perf_counter() - start, results)
+            if retry:
+                queue.append((spec, attempt + 1))
+
+    # ------------------------------------------------------------------
 
     def _run_parallel(self, pending: Sequence[RunSpec],
                       results: Dict[RunSpec, SimResult],
@@ -146,24 +231,200 @@ class ParallelExecutor:
                 "cpu_freq_ghz": session.cpu_freq_ghz,
                 "sample_interval": session.sample_interval,
             }
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_worker_execute, spec, self.config,
-                            telemetry_opts): (spec, time.perf_counter())
-                for spec in pending
-            }
-            for future in concurrent.futures.as_completed(futures):
-                spec, start = futures[future]
-                result, runs, trace_events = future.result()
-                results[spec] = result
-                if session is not None:
-                    session.ingest(runs, trace_events)
-                self._record(spec, time.perf_counter() - start, cached=False)
+        attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
+        queue: List[RunSpec] = list(pending)
+        futures: Dict[concurrent.futures.Future, tuple] = {}
+        pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+        def teardown(kill: bool) -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            if kill:
+                # ProcessPoolExecutor cannot cancel a *running* future;
+                # terminating the workers is the only way to reclaim a
+                # hung or obsolete pool promptly.
+                for proc in list((getattr(pool, "_processes", None)
+                                  or {}).values()):
+                    try:
+                        proc.terminate()
+                    except (OSError, AttributeError):
+                        pass
+            pool.shutdown(wait=True, cancel_futures=True)
+            pool = None
+
+        def requeue_collateral() -> None:
+            """Resubmit in-flight specs a teardown aborted, for free."""
+            for future, (spec, _start, _deadline) in futures.items():
+                attempts[spec] -= 1  # this attempt never really ran
+                queue.append(spec)
+            futures.clear()
+
+        try:
+            while queue or futures:
+                if pool is None:
+                    width = min(self.jobs,
+                                max(1, len(queue) + len(futures)))
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=width)
+                while queue:
+                    spec = queue.pop(0)
+                    attempts[spec] += 1
+                    if attempts[spec] > 1:
+                        time.sleep(self.policy.backoff_s(
+                            attempts[spec] - 1, spec.label))
+                    future = pool.submit(_worker_execute, spec, self.config,
+                                         telemetry_opts, attempts[spec])
+                    deadline = (time.monotonic() + self.policy.timeout_s
+                                if self.policy.timeout_s else None)
+                    futures[future] = (spec, time.perf_counter(), deadline)
+                wait_s = None
+                if self.policy.timeout_s is not None:
+                    now = time.monotonic()
+                    wait_s = max(0.05, min(
+                        d for (_, _, d) in futures.values()) - now)
+                done, _ = concurrent.futures.wait(
+                    futures, timeout=wait_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    spec, start, _deadline = futures.pop(future)
+                    elapsed = time.perf_counter() - start
+                    try:
+                        payload = future.result()
+                    except concurrent.futures.CancelledError:
+                        attempts[spec] -= 1
+                        queue.append(spec)
+                        continue
+                    except Exception as exc:
+                        kind = classify_failure(exc)
+                        broken = broken or kind == BROKEN_POOL
+                        if self._register_failure(spec, kind, attempts[spec],
+                                                  exc, elapsed, results):
+                            queue.append(spec)
+                        continue
+                    result = payload[0]
+                    if not is_valid_result(result):
+                        error = TypeError(
+                            f"worker returned {type(result).__name__}, "
+                            "not SimResult")
+                        if self._register_failure(spec, CORRUPT_RESULT,
+                                                  attempts[spec], error,
+                                                  elapsed, results):
+                            queue.append(spec)
+                        continue
+                    _result, runs, trace_events, counters = payload
+                    results[spec] = result
+                    if session is not None:
+                        session.ingest(runs, trace_events, counters)
+                    self._record(spec, elapsed, cached=False,
+                                 attempt=attempts[spec])
+                if broken:
+                    # Every other future on a broken pool is doomed too:
+                    # charge nobody, resubmit on a fresh pool.
+                    requeue_collateral()
+                    teardown(kill=True)
+                    continue
+                if self.policy.timeout_s is not None and futures:
+                    now = time.monotonic()
+                    overdue = [f for f, (_, _, d) in futures.items()
+                               if d is not None and now >= d]
+                    if overdue:
+                        for future in overdue:
+                            spec, start, _deadline = futures.pop(future)
+                            error: BaseException = TimeoutError(
+                                f"exceeded per-spec timeout of "
+                                f"{self.policy.timeout_s:g}s")
+                            if self._register_failure(
+                                    spec, TIMEOUT, attempts[spec], error,
+                                    time.perf_counter() - start, results):
+                                queue.append(spec)
+                        # A running future cannot be cancelled: tear the
+                        # pool down (killing the hung worker) and rerun
+                        # the innocent in-flight specs at no retry cost.
+                        requeue_collateral()
+                        teardown(kill=True)
+        except KeyboardInterrupt:
+            # Ctrl-C: drop queued work, cancel what we can, terminate
+            # workers so no orphan processes outlive the suite.
+            for future in futures:
+                future.cancel()
+            teardown(kill=True)
+            raise
+        except Exception:
+            for future in futures:
+                future.cancel()
+            teardown(kill=True)
+            raise
+        finally:
+            teardown(kill=False)
+
+    # ------------------------------------------------------------------
+    # Failure bookkeeping
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        session = active_session()
+        if session is not None:
+            session.incr(name, n)
+
+    def _register_failure(self, spec: RunSpec, kind: str, attempt: int,
+                          error: BaseException, seconds: float,
+                          results: Dict[RunSpec, SimResult]) -> bool:
+        """Classify one failed attempt; True means "retry it".
+
+        When the retry budget is exhausted the spec either degrades to
+        one in-process serial run (``degrade_serial``), is recorded as
+        a :class:`FailedRun` (``keep_going``), or raises
+        :class:`SuiteError` (fail-fast, the default).
+        """
+        self._count(f"resilience.failures.{kind}")
+        self._record(spec, seconds, cached=False, attempt=attempt,
+                     status=kind)
+        if attempt < self.policy.attempts_allowed:
+            self._count("resilience.retries")
+            return True
+        if (self.degrade_serial and kind != TIMEOUT
+                and self._attempt_degraded(spec, results)):
+            return False
+        failed = FailedRun(
+            benchmark=spec.benchmark, memory=spec.memory,
+            variant=spec.variant, kind=kind, attempts=attempt,
+            error=f"{type(error).__name__}: {error}")
+        if not self.keep_going:
+            raise SuiteError(failed)
+        self._count("resilience.failed_runs")
+        results[spec] = failed
+        self.failures.append(failed)
+        return False
+
+    def _attempt_degraded(self, spec: RunSpec,
+                          results: Dict[RunSpec, SimResult]) -> bool:
+        """Last resort: one in-process serial run, fault hook disabled.
+
+        Rescues specs whose failures are environmental (pool breakage,
+        worker OOM); a timeout never degrades — a hang would block the
+        parent with no deadline to save it.
+        """
+        start = time.perf_counter()
+        try:
+            result = execute_spec(spec, self.config, attempt=0)
+        except Exception:
+            return False
+        if not is_valid_result(result):
+            return False
+        self.cache.put(spec_cache_key(spec, self.config), result)
+        results[spec] = result
+        self._count("resilience.degraded_runs")
+        self._record(spec, time.perf_counter() - start, cached=False,
+                     status="degraded")
+        return True
 
     # ------------------------------------------------------------------
 
-    def _record(self, spec: RunSpec, seconds: float, cached: bool) -> None:
+    def _record(self, spec: RunSpec, seconds: float, cached: bool,
+                attempt: int = 1, status: str = "ok") -> None:
         self.timings.append({
             "benchmark": spec.benchmark,
             "memory": spec.memory,
@@ -171,11 +432,18 @@ class ParallelExecutor:
             "runner": spec.runner,
             "seconds": round(seconds, 3),
             "cached": cached,
+            "attempt": attempt,
+            "status": status,
         })
         if self.progress:
             done = len(self.timings)
-            status = "cached" if cached else f"{seconds:.1f}s"
-            print(f"[repro {done:>3}] {spec.label} {status}",
+            if cached:
+                detail = "cached"
+            elif status == "ok":
+                detail = f"{seconds:.1f}s"
+            else:
+                detail = f"{status} (attempt {attempt}) {seconds:.1f}s"
+            print(f"[repro {done:>3}] {spec.label} {detail}",
                   file=sys.stderr, flush=True)
 
 
@@ -194,6 +462,8 @@ def resolve_results(specs: Iterable[RunSpec], config,
     Figure functions call this so they work standalone (compute their
     own specs) *and* under a suite scheduler that pre-ran the union of
     all figures' specs and passes the shared ``results`` map in.
+    A :class:`FailedRun` sentinel counts as covered — a failed spec is
+    not silently re-run by every figure that references it.
     """
     have = {} if results is None else dict(results)
     missing = [spec for spec in dict.fromkeys(specs) if spec not in have]

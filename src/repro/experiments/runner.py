@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.experiments.resilience import MISSING
 from repro.experiments.specs import RunSpec, execute_spec, spec_cache_key
 from repro.sim.config import SimConfig
 from repro.sim.system import SimResult
@@ -41,6 +42,15 @@ class ExperimentConfig:
     # Parallel worker count for the spec executor: None defers to the
     # REPRO_JOBS environment variable (default 1, fully serial).
     jobs: Optional[int] = None
+    # Resilience knobs for the executor (see experiments.resilience):
+    # retries per failed spec, per-spec wall-clock timeout (parallel
+    # mode only), record FailedRun sentinels instead of raising, and
+    # degrade exhausted specs to one in-process serial run. None of
+    # these affect cache keys — a retried result is the same result.
+    retries: int = 0
+    timeout_s: Optional[float] = None
+    keep_going: bool = False
+    degrade_serial: bool = False
 
     def suite(self) -> List[str]:
         return list(self.benchmarks) if self.benchmarks else benchmark_names()
@@ -50,16 +60,39 @@ class ExperimentConfig:
                          target_dram_reads=self.target_dram_reads)
 
 
+def _env_number(name: str, default, convert):
+    """Parse a numeric environment knob with a clear error message."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return convert(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be {'an integer' if convert is int else 'a number'}"
+            f", got {raw!r}; unset it for the default ({default})") from None
+
+
 def default_config() -> ExperimentConfig:
-    """ExperimentConfig from REPRO_READS / REPRO_BENCHMARKS / REPRO_CACHE."""
-    reads = int(os.environ.get("REPRO_READS", DEFAULT_READS))
+    """ExperimentConfig from the ``REPRO_*`` environment knobs.
+
+    ``REPRO_READS`` / ``REPRO_BENCHMARKS`` / ``REPRO_CACHE`` scale the
+    runs; ``REPRO_RETRIES`` / ``REPRO_TIMEOUT`` / ``REPRO_KEEP_GOING``
+    configure the executor's failure handling (see
+    :mod:`repro.experiments.resilience`).
+    """
+    reads = _env_number("REPRO_READS", DEFAULT_READS, int)
     benches = tuple(b for b in os.environ.get("REPRO_BENCHMARKS", "").split(",")
                     if b.strip())
     cache = os.environ.get("REPRO_CACHE", ".repro_cache")
+    keep_going = os.environ.get("REPRO_KEEP_GOING", "").strip().lower()
     return ExperimentConfig(
         target_dram_reads=reads,
         benchmarks=benches,
-        cache_dir=None if cache.lower() == "off" else cache)
+        cache_dir=None if cache.lower() == "off" else cache,
+        retries=_env_number("REPRO_RETRIES", 0, int),
+        timeout_s=_env_number("REPRO_TIMEOUT", None, float),
+        keep_going=keep_going in ("1", "true", "yes", "on"))
 
 
 class ResultCache:
@@ -101,26 +134,46 @@ class ResultCache:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
     def get(self, key: str) -> Optional[SimResult]:
-        """Recall a cached result; any corruption is treated as a miss.
+        """Recall a cached result; corruption quarantines the entry.
 
         Truncated files, non-JSON bytes, non-dict payloads, and schema
-        drift (unexpected or missing fields) all return None — the
-        caller re-runs and :meth:`put` rewrites the entry.
+        drift (unexpected or missing fields) all return None — but the
+        offending file is renamed to ``<entry>.corrupt`` first (and
+        counted in telemetry as ``cache.quarantined``) so the evidence
+        survives for a post-mortem instead of being silently
+        re-clobbered by the re-run's :meth:`put`. An entry whose
+        embedded key merely differs (digest collision) stays put and
+        reads as a plain miss.
         """
         path = self._path(key)
         if path is None or not path.exists():
             return None
         try:
             data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return self._quarantine(path)
+        except OSError:
             return None
-        if not isinstance(data, dict) or data.get("__key__") != key:
+        if not isinstance(data, dict):
+            return self._quarantine(path)
+        if data.get("__key__") != key:
             return None
         data.pop("__key__", None)
         try:
             return SimResult(**data)
         except (TypeError, ValueError):
-            return None
+            return self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> None:
+        """Set a corrupt entry aside as ``<entry>.corrupt``."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:  # pragma: no cover - raced or read-only cache
+            pass
+        session = active_session()
+        if session is not None:
+            session.incr("cache.quarantined")
+        return None
 
     def put(self, key: str, result: SimResult) -> None:
         path = self._path(key)
@@ -198,11 +251,22 @@ class ExperimentTable:
         return [row.get(name) for row in self.rows]
 
     def mean(self, name: str) -> float:
-        values = [v for v in self.column(name) if isinstance(v, (int, float))]
+        """Column mean over numeric cells.
+
+        ``MISSING`` cells (failed runs) are excluded — a partial column
+        averages its surviving rows; a column with no survivors answers
+        ``MISSING`` so the MEAN row degrades to ``—`` too.
+        """
+        column = self.column(name)
+        values = [v for v in column if isinstance(v, (int, float))]
+        if not values and any(v is MISSING for v in column):
+            return MISSING
         return sum(values) / len(values) if values else 0.0
 
     @staticmethod
     def _cell(value: object) -> str:
+        if value is MISSING:
+            return "—"
         if isinstance(value, float):
             return f"{value:.3f}"
         return str(value)

@@ -32,6 +32,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.experiments.resilience import active_fault_plan
 from repro.memsys.registry import resolve_name
 from repro.sim.config import SimConfig
 from repro.sim.system import SimResult, run_benchmark
@@ -187,8 +188,25 @@ def spec_cache_key(spec: RunSpec, config) -> str:
     ])
 
 
-def execute_spec(spec: RunSpec, config) -> SimResult:
-    """Actually simulate ``spec`` (no caching — the executor handles it)."""
+def execute_spec(spec: RunSpec, config, attempt: int = 1) -> SimResult:
+    """Actually simulate ``spec`` (no caching — the executor handles it).
+
+    ``attempt`` (1-based) is threaded through by the executor so the
+    deterministic fault-injection plan (``REPRO_FAULT_PLAN``, see
+    :mod:`repro.experiments.resilience`) can target specific retries of
+    specific specs — identically in the serial path and in pool
+    workers. ``attempt=0`` disables injection: the executor's
+    degrade-to-serial last resort uses it so an injected fault cannot
+    also take down the parent process.
+    """
+    plan = active_fault_plan() if attempt >= 1 else None
+    if plan is not None:
+        plan.before_run(spec.label, attempt)
     if spec.runner:
-        return resolve_runner(spec.runner)(spec, config)
-    return run_benchmark(spec.benchmark, spec.resolved_sim_config(config))
+        result = resolve_runner(spec.runner)(spec, config)
+    else:
+        result = run_benchmark(spec.benchmark,
+                               spec.resolved_sim_config(config))
+    if plan is not None:
+        result = plan.after_run(spec.label, attempt, result)
+    return result

@@ -16,7 +16,13 @@ import datetime
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.experiments import ALL_EXPERIMENTS, ParallelExecutor, suite_specs
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    MISSING,
+    ParallelExecutor,
+    failure_appendix,
+    suite_specs,
+)
 from repro.experiments.runner import ExperimentConfig, ExperimentTable, default_config
 
 
@@ -39,14 +45,18 @@ class PaperClaim:
 def _mean_row(table: ExperimentTable, column: str) -> float:
     for row in table.rows:
         if row.get("benchmark") == "MEAN":
-            return float(row[column])
+            value = row[column]
+            # MISSING propagates (and formats as "—") instead of
+            # raising: a failed run costs one claim, not the report.
+            return value if value is MISSING else float(value)
     raise KeyError("no MEAN row")
 
 
 def _flavour_mean(table: ExperimentTable, flavour: str) -> float:
     for row in table.rows:
         if row.get("benchmark") == "MEAN" and row.get("flavour") == flavour:
-            return float(row["total"])
+            value = row["total"]
+            return value if value is MISSING else float(value)
     raise KeyError(flavour)
 
 
@@ -146,9 +156,13 @@ CLAIMS = {
 def _prefetch_results(config: ExperimentConfig, keys: List[str],
                       jobs: Optional[int] = None,
                       progress: bool = False):
-    """One scheduler pass over the union of the figures' spec lists."""
+    """One scheduler pass over the union of the figures' spec lists.
+
+    Returns ``(results, executor)`` — the executor carries the timings
+    and any :class:`FailedRun` records for the failure appendix.
+    """
     executor = ParallelExecutor(config, jobs=jobs, progress=progress)
-    return executor.run(suite_specs(keys, config))
+    return executor.run(suite_specs(keys, config)), executor
 
 
 def collect_tables(config: Optional[ExperimentConfig] = None,
@@ -157,7 +171,7 @@ def collect_tables(config: Optional[ExperimentConfig] = None,
     """Run (or recall) the listed experiments and return their tables."""
     config = config or default_config()
     keys = experiments or list(ALL_EXPERIMENTS)
-    results = _prefetch_results(config, keys, jobs=jobs)
+    results, _ = _prefetch_results(config, keys, jobs=jobs)
     return [ALL_EXPERIMENTS[key](config, results=results) for key in keys]
 
 
@@ -166,7 +180,8 @@ def render_report(config: Optional[ExperimentConfig] = None,
                   jobs: Optional[int] = None) -> str:
     config = config or default_config()
     keys = experiments or list(ALL_EXPERIMENTS)
-    results = _prefetch_results(config, keys, jobs=jobs, progress=True)
+    results, executor = _prefetch_results(config, keys, jobs=jobs,
+                                          progress=True)
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -191,6 +206,23 @@ def render_report(config: Optional[ExperimentConfig] = None,
         "both modes share the on-disk result cache and emit",
         "byte-identical tables for the same seed.",
         "",
+        "## Failure handling, retries, and resume",
+        "",
+        "A crashed, hung, or OOM-killed worker costs one cell, not the",
+        "suite. Every failed attempt is classified (crash / timeout /",
+        "broken-pool / corrupt-result) and retried under `--retries N`",
+        "(exponential backoff with deterministic jitter); `--timeout S`",
+        "bounds each spec's wall clock when `--jobs >= 2`; under",
+        "`--keep-going` a spec that exhausts its retries renders as `—`",
+        "cells plus a failure appendix at the end of this report instead",
+        "of aborting (`--fail-fast`, the default, stops on the first",
+        "exhausted spec). Completed runs always persist in the result",
+        "cache, so re-running the same command resumes from what",
+        "survived. `REPRO_FAULT_PLAN` (e.g.",
+        "`\"mcf/ddr3=crash;mcf/rldram3=hang:*:20\"`) injects",
+        "deterministic faults to exercise all of this; see",
+        "`repro.experiments.resilience`.",
+        "",
     ]
     for key in keys:
         table = ALL_EXPERIMENTS[key](config, results=results)
@@ -208,6 +240,9 @@ def render_report(config: Optional[ExperimentConfig] = None,
         lines.append(table.format())
         lines.append("```")
         lines.append("")
+    if executor.failures:
+        lines.append(failure_appendix(executor.failures, markdown=True))
+        lines.append("")
     return "\n".join(lines)
 
 
@@ -218,6 +253,18 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel worker processes (default REPRO_JOBS "
                              "or 1; 0 = one per CPU)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-run a crashed/hung/corrupt spec up to N "
+                             "times (default REPRO_RETRIES or 0)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-spec wall-clock deadline, enforced with "
+                             "--jobs >= 2 (default REPRO_TIMEOUT or none)")
+    parser.add_argument("--keep-going", action="store_true", default=None,
+                        help="render failed specs as '—' cells plus a "
+                             "failure appendix instead of aborting")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first exhausted spec (default; "
+                             "overrides REPRO_KEEP_GOING)")
     parser.add_argument("--experiments", default=None,
                         help="comma-separated subset of experiment ids")
     parser.add_argument("--json", default=None, metavar="PATH",
@@ -225,13 +272,21 @@ def main(argv=None) -> int:
                              "with a run manifest")
     args = parser.parse_args(argv)
     config = default_config()
-    if args.reads is not None or args.jobs is not None:
+    updates = {}
+    if args.reads is not None:
+        updates["target_dram_reads"] = args.reads
+    if args.jobs is not None:
+        updates["jobs"] = args.jobs
+    if args.retries is not None:
+        updates["retries"] = args.retries
+    if args.timeout is not None:
+        updates["timeout_s"] = args.timeout
+    if args.keep_going:
+        updates["keep_going"] = True
+    if args.fail_fast:
+        updates["keep_going"] = False
+    if updates:
         from dataclasses import replace
-        updates = {}
-        if args.reads is not None:
-            updates["target_dram_reads"] = args.reads
-        if args.jobs is not None:
-            updates["jobs"] = args.jobs
         config = replace(config, **updates)
     keys = args.experiments.split(",") if args.experiments else None
     text = render_report(config, keys, jobs=args.jobs)

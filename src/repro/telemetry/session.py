@@ -18,7 +18,7 @@ describe actual simulated work.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.telemetry.export import (
     run_manifest,
@@ -58,6 +58,15 @@ class TelemetrySession:
         self.started = time.time()
         self._tracers: List[ChromeTracer] = []
         self.runs: List[dict] = []
+        # Named event counters (retries, failures by kind, cache
+        # quarantines, ...): cheap to bump anywhere, exported with the
+        # run manifest.
+        self.counters: Dict[str, int] = {}
+
+    def incr(self, name: str, n: int = 1) -> int:
+        """Bump a named counter, creating it at zero first."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        return self.counters[name]
 
     # ------------------------------------------------------------------
 
@@ -82,14 +91,19 @@ class TelemetrySession:
         return record
 
     def ingest(self, runs: List[dict],
-               trace_events: Optional[List[dict]] = None) -> None:
-        """Merge run records and trace events from a worker process.
+               trace_events: Optional[List[dict]] = None,
+               counters: Optional[Dict[str, int]] = None) -> None:
+        """Merge run records, trace events, and counters from a worker.
 
         The parallel executor's workers run under their own sessions
         and ship back plain dicts; trace pids are remapped so each
-        ingested worker session stays a distinct trace process lane.
+        ingested worker session stays a distinct trace process lane,
+        and worker-side counters (e.g. cache quarantines) sum into the
+        parent's.
         """
         self.runs.extend(runs)
+        for name, value in (counters or {}).items():
+            self.incr(name, value)
         if not trace_events:
             return
         pid_map: dict = {}
@@ -111,7 +125,8 @@ class TelemetrySession:
                  argv: Optional[List[str]] = None) -> dict:
         return run_manifest(config=config, seed=seed, argv=argv,
                             wall_time_s=time.time() - self.started,
-                            extra={"num_runs": len(self.runs)})
+                            extra={"num_runs": len(self.runs),
+                                   "counters": dict(self.counters)})
 
     def export_stats(self, path: str, config=None,
                      seed: Optional[int] = None,
