@@ -3,9 +3,14 @@ benchmark/memory combinations, and inspect the backend registry.
 
 Usage::
 
+    repro --version                       # print the package version
     repro list-backends                   # registered memory organisations
     repro run --memory hmc_cwf            # one backend, whole suite
     repro run --memory ddr3,rl,hmc_cwf --benchmarks leslie3d,mcf --jobs 2
+    repro serve --port 8787 --jobs 4      # long-lived job server
+    repro submit --experiment fig6 --wait # run a figure via the server
+    repro status j-0123abcd4567           # poll a submitted job
+    repro status                          # server health + metrics
     repro-experiment list
     repro-experiment fig6                 # regenerate Figure 6
     repro-experiment fig6,fig7,fig8       # several (shared runs dedupe)
@@ -69,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Regenerate tables and figures from the paper.")
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("experiment",
                         help="experiment id(s), comma-separated "
                              "(see 'list'), or 'all'/'list'")
@@ -292,12 +300,243 @@ def cmd_run(argv: List[str]) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Subcommands: serve, submit, status (the simulation service)
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(argv: List[str]) -> int:
+    """Long-lived job server over a persistent worker pool."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve RunSpec batches over HTTP: POST /v1/jobs, "
+                    "GET /v1/jobs/<id>, /healthz, /metrics. SIGTERM "
+                    "drains in-flight work gracefully.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the persistent pool "
+                             "(default REPRO_JOBS or 1; 0 = one per CPU)")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="default target demand DRAM fetches per run "
+                             "(jobs may override)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="default benchmark subset (jobs may override)")
+    parser.add_argument("--cache", default=None,
+                        help="result-cache directory, or 'off'")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="job-manifest directory (default .repro_jobs); "
+                             "queued/running jobs found here are resumed")
+    parser.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                        help="bounded queue depth; beyond it POST answers "
+                             "429 + Retry-After (default 32)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="per-spec retries for crashed/hung/corrupt "
+                             "runs (default REPRO_RETRIES or 0)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-spec wall-clock deadline (needs "
+                             "--jobs >= 2)")
+    parser.add_argument("--no-recover", action="store_true",
+                        help="do not re-enqueue unfinished jobs from the "
+                             "state directory at startup")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one line per HTTP request")
+    args = parser.parse_args(argv)
+
+    from repro.service import JobScheduler, JobStore, make_server, serve_until_signal
+    from repro.service.store import DEFAULT_STATE_DIR
+
+    config = make_config(args)
+    store = JobStore(args.state_dir or DEFAULT_STATE_DIR)
+    # Paused and without recovery until the port is bound: a server that
+    # loses the bind race must exit without having touched job state.
+    scheduler = JobScheduler(config, store=store, jobs=args.jobs,
+                             max_queue=args.queue_limit,
+                             start=False, recover=False)
+    try:
+        server = make_server(scheduler, args.host, args.port,
+                             verbose=args.verbose)
+    except OSError as exc:
+        print(f"repro serve: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not args.no_recover:
+        scheduler.recover()
+    scheduler.start()
+    recovered = scheduler.counters["jobs_recovered"]
+    print(f"repro serve: listening on http://{args.host}:{args.port} "
+          f"({scheduler.executor.jobs} worker(s), queue limit "
+          f"{args.queue_limit}, {recovered} job(s) recovered); "
+          "SIGTERM drains gracefully", file=sys.stderr, flush=True)
+    serve_until_signal(server, scheduler)
+    print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _submit_request(args: argparse.Namespace) -> dict:
+    """Build the POST /v1/jobs payload from submit's flags."""
+    request: dict = {}
+    if args.experiment:
+        request["experiment"] = args.experiment
+    if args.memory:
+        memories = _resolve_memories(
+            [m for m in args.memory.split(",") if m.strip()])
+        from repro.experiments.runner import default_config
+        benches = ([b for b in args.benchmarks.split(",") if b]
+                   if args.benchmarks else default_config().suite())
+        request["specs"] = [{"benchmark": bench, "memory": memory}
+                            for bench in benches for memory in memories]
+    if args.reads is not None:
+        request["reads"] = args.reads
+    if args.benchmarks:
+        request["benchmarks"] = [b for b in args.benchmarks.split(",") if b]
+    if args.tag:
+        request["tag"] = args.tag
+    return request
+
+
+def _print_job_outcome(job: dict, as_json: bool) -> int:
+    if as_json:
+        import json as _json
+        print(_json.dumps(job, indent=1, default=str))
+    elif job.get("table"):
+        print(job["table"])
+    else:
+        for row in job.get("results", []):
+            print(f"{row['label']}: throughput={row['throughput']:.3f} "
+                  f"critical={row['avg_critical_latency']:.1f} "
+                  f"fill={row['avg_fill_latency']:.1f}")
+    for failure in job.get("failures", []):
+        print(f"failed: {failure['label']} ({failure['kind']} after "
+              f"{failure['attempts']} attempt(s)) — {failure['error']}",
+              file=sys.stderr)
+    if job.get("error"):
+        print(f"error: {job['error']}", file=sys.stderr)
+    return 0 if job.get("state") == "done" else 1
+
+
+def cmd_submit(argv: List[str]) -> int:
+    """Submit a job to a running ``repro serve`` instance."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit an experiment or ad-hoc benchmark x memory "
+                    "batch to a repro serve instance.")
+    from repro.service.client import DEFAULT_URL
+
+    parser.add_argument("--url", default=DEFAULT_URL)
+    parser.add_argument("--experiment", default=None,
+                        help="experiment id to expand server-side "
+                             "(see 'repro-experiment list')")
+    parser.add_argument("--memory", default=None,
+                        help="comma-separated backends for ad-hoc specs")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="per-job override of DRAM fetches per run")
+    parser.add_argument("--tag", default="",
+                        help="free-form label echoed back by status")
+    parser.add_argument("--retry-429", type=int, default=0, metavar="N",
+                        help="on backpressure (429), honour Retry-After "
+                             "and retry up to N times")
+    parser.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its "
+                             "tables/results")
+    parser.add_argument("--poll", type=float, default=0.5, metavar="SEC")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="give up waiting after SEC seconds")
+    parser.add_argument("--json", action="store_true",
+                        help="print the job record as JSON")
+    args = parser.parse_args(argv)
+    if not args.experiment and not args.memory:
+        parser.error("nothing to submit: use --experiment and/or --memory")
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(_submit_request(args), retries=args.retry_429)
+        if args.wait:
+            job = client.wait(job["id"], poll_s=args.poll,
+                              timeout_s=args.timeout)
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.wait:
+        return _print_job_outcome(job, args.json)
+    if args.json:
+        import json as _json
+        print(_json.dumps(job, indent=1, default=str))
+    else:
+        print(f"{job['id']} {job['state']} "
+              f"({len(job['specs'])} spec(s), "
+              f"{job['coalesced_specs']} coalesced, "
+              f"{job['cached_specs']} cached)")
+    return 0
+
+
+def cmd_status(argv: List[str]) -> int:
+    """Job status by id, or server health + metrics without one."""
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="Poll a job, or show server health and metrics.")
+    from repro.service.client import DEFAULT_URL
+
+    parser.add_argument("job_id", nargs="?", default=None)
+    parser.add_argument("--url", default=DEFAULT_URL)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            if args.json:
+                print(_json.dumps(job, indent=1, default=str))
+                return 0
+            if job.get("state") in ("done", "failed"):
+                return _print_job_outcome(job, as_json=False)
+            print(f"{job['id']} {job['state']} "
+                  f"({len(job['specs'])} spec(s))")
+            return 0
+        health = client.health()
+        metrics = client.metrics()
+        if args.json:
+            print(_json.dumps({"health": health, "metrics": metrics},
+                              indent=1, default=str))
+        else:
+            print(f"server {health['status']}: uptime "
+                  f"{health['uptime_s']:.0f}s, queue "
+                  f"{health['queue_depth']}/{health['queue_limit']}, "
+                  f"jobs {health.get('jobs', {})}")
+            for name in sorted(metrics):
+                if name.startswith(("service.", "executor.", "cache.")):
+                    print(f"  {name} = {metrics[name]}")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("--version", "-V"):
+        from repro import __version__
+        print(f"repro {__version__}")
+        return 0
     if argv and argv[0] == "list-backends":
         return cmd_list_backends(argv[1:])
     if argv and argv[0] == "run":
         return cmd_run(argv[1:])
+    if argv and argv[0] == "serve":
+        return cmd_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        return cmd_submit(argv[1:])
+    if argv and argv[0] == "status":
+        return cmd_status(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for key in ALL_EXPERIMENTS:

@@ -35,6 +35,16 @@ their results straight into the shared
 :class:`~repro.experiments.runner.ResultCache` (safe for concurrent
 writers) so a crashed suite still persists completed runs — re-running
 the same suite resumes from those entries.
+
+Long-lived callers (the ``repro serve`` job server, notebooks) can
+construct the executor with ``persistent=True``: the process pool then
+survives across :meth:`ParallelExecutor.run` calls — submissions after
+the first skip pool spin-up entirely — and :meth:`run` accepts a
+per-call ``config`` so one pool serves jobs with different run scales.
+Call :meth:`ParallelExecutor.shutdown` (or use the executor as a
+context manager) to release the workers. The worker count is resolved
+once at construction; assigning :attr:`ParallelExecutor.jobs` while
+the pool is live raises instead of being silently ignored.
 """
 
 from __future__ import annotations
@@ -131,12 +141,17 @@ class ParallelExecutor:
                  progress: bool = False,
                  policy: Optional[RetryPolicy] = None,
                  keep_going: Optional[bool] = None,
-                 degrade_serial: Optional[bool] = None) -> None:
+                 degrade_serial: Optional[bool] = None,
+                 persistent: bool = False) -> None:
         from repro.experiments.runner import ResultCache
 
         self.config = config
-        self.jobs = resolve_jobs(
+        # Resolved exactly once, at construction: a live pool is sized
+        # from this, so later REPRO_JOBS changes never apply silently.
+        self._jobs = resolve_jobs(
             jobs if jobs is not None else getattr(config, "jobs", None))
+        self.persistent = persistent
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self.progress = progress
         self.cache = ResultCache(config.cache_dir)
         self.timings: List[dict] = []
@@ -152,8 +167,65 @@ class ParallelExecutor:
         self.counters: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    # Worker-count property: reconfiguring a live pool is an error
+    # ------------------------------------------------------------------
 
-    def run(self, specs: Sequence[RunSpec]) -> Dict[RunSpec, SimResult]:
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @jobs.setter
+    def jobs(self, value: Optional[int]) -> None:
+        if self._pool is not None:
+            raise RuntimeError(
+                "cannot reconfigure jobs on a live worker pool: the pool "
+                f"was spawned with {self._jobs} worker(s); call shutdown() "
+                "first, then set jobs (or construct a new executor)")
+        self._jobs = resolve_jobs(value)
+
+    # ------------------------------------------------------------------
+    # Persistent-pool lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        self._teardown(kill=False)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _teardown(self, kill: bool) -> None:
+        if self._pool is None:
+            return
+        if kill:
+            # ProcessPoolExecutor cannot cancel a *running* future;
+            # terminating the workers is the only way to reclaim a
+            # hung or obsolete pool promptly.
+            for proc in list((getattr(self._pool, "_processes", None)
+                              or {}).values()):
+                try:
+                    proc.terminate()
+                except (OSError, AttributeError):
+                    pass
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec],
+            config=None) -> Dict[RunSpec, SimResult]:
+        """Resolve ``specs``, recalling from cache and running the rest.
+
+        ``config`` overrides the constructor's
+        :class:`~repro.experiments.runner.ExperimentConfig` for this
+        call only (persistent-pool callers submit jobs with different
+        run scales through one pool); cache entries always live under
+        the constructor config's cache directory.
+        """
+        config = config if config is not None else self.config
         ordered = list(dict.fromkeys(specs))  # dedupe, keep declared order
         session = active_session()
         results: Dict[RunSpec, SimResult] = {}
@@ -161,7 +233,7 @@ class ParallelExecutor:
         for spec in ordered:
             # A recalled result has no telemetry to contribute, so an
             # active session forces real runs (same rule as run_cached).
-            cached = (self.cache.get(spec_cache_key(spec, self.config))
+            cached = (self.cache.get(spec_cache_key(spec, config))
                       if session is None else None)
             if cached is not None:
                 results[spec] = cached
@@ -170,16 +242,17 @@ class ParallelExecutor:
                 pending.append(spec)
         if not pending:
             return results
-        if self.jobs == 1:
-            self._run_serial(pending, results)
+        if self._jobs == 1:
+            self._run_serial(pending, results, config)
         else:
-            self._run_parallel(pending, results, session)
+            self._run_parallel(pending, results, session, config)
         return results
 
     # ------------------------------------------------------------------
 
     def _run_serial(self, pending: Sequence[RunSpec],
-                    results: Dict[RunSpec, SimResult]) -> None:
+                    results: Dict[RunSpec, SimResult],
+                    config) -> None:
         """Deterministic in-process execution (``jobs=1``).
 
         Runs under the parent's telemetry session, exactly like the
@@ -197,14 +270,14 @@ class ParallelExecutor:
             error: Optional[BaseException] = None
             kind = ""
             try:
-                result = execute_spec(spec, self.config, attempt=attempt)
+                result = execute_spec(spec, config, attempt=attempt)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
                 error, kind = exc, classify_failure(exc)
             else:
                 if is_valid_result(result):
-                    self.cache.put(spec_cache_key(spec, self.config), result)
+                    self.cache.put(spec_cache_key(spec, config), result)
                     results[spec] = result
                     self._record(spec, time.perf_counter() - start,
                                  cached=False, attempt=attempt)
@@ -215,7 +288,7 @@ class ParallelExecutor:
                 kind = CORRUPT_RESULT
             retry = self._register_failure(
                 spec, kind, attempt, error,
-                time.perf_counter() - start, results)
+                time.perf_counter() - start, results, config)
             if retry:
                 queue.append((spec, attempt + 1))
 
@@ -223,7 +296,8 @@ class ParallelExecutor:
 
     def _run_parallel(self, pending: Sequence[RunSpec],
                       results: Dict[RunSpec, SimResult],
-                      session: Optional[TelemetrySession]) -> None:
+                      session: Optional[TelemetrySession],
+                      config) -> None:
         telemetry_opts = None
         if session is not None:
             telemetry_opts = {
@@ -234,24 +308,6 @@ class ParallelExecutor:
         attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
         queue: List[RunSpec] = list(pending)
         futures: Dict[concurrent.futures.Future, tuple] = {}
-        pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-
-        def teardown(kill: bool) -> None:
-            nonlocal pool
-            if pool is None:
-                return
-            if kill:
-                # ProcessPoolExecutor cannot cancel a *running* future;
-                # terminating the workers is the only way to reclaim a
-                # hung or obsolete pool promptly.
-                for proc in list((getattr(pool, "_processes", None)
-                                  or {}).values()):
-                    try:
-                        proc.terminate()
-                    except (OSError, AttributeError):
-                        pass
-            pool.shutdown(wait=True, cancel_futures=True)
-            pool = None
 
         def requeue_collateral() -> None:
             """Resubmit in-flight specs a teardown aborted, for free."""
@@ -262,10 +318,14 @@ class ParallelExecutor:
 
         try:
             while queue or futures:
-                if pool is None:
-                    width = min(self.jobs,
-                                max(1, len(queue) + len(futures)))
-                    pool = concurrent.futures.ProcessPoolExecutor(
+                if self._pool is None:
+                    # A persistent pool is sized for the full worker
+                    # count so later (possibly larger) submissions are
+                    # not capped by the first batch's size.
+                    width = (self._jobs if self.persistent
+                             else min(self._jobs,
+                                      max(1, len(queue) + len(futures))))
+                    self._pool = concurrent.futures.ProcessPoolExecutor(
                         max_workers=width)
                 while queue:
                     spec = queue.pop(0)
@@ -273,8 +333,8 @@ class ParallelExecutor:
                     if attempts[spec] > 1:
                         time.sleep(self.policy.backoff_s(
                             attempts[spec] - 1, spec.label))
-                    future = pool.submit(_worker_execute, spec, self.config,
-                                         telemetry_opts, attempts[spec])
+                    future = self._pool.submit(_worker_execute, spec, config,
+                                               telemetry_opts, attempts[spec])
                     deadline = (time.monotonic() + self.policy.timeout_s
                                 if self.policy.timeout_s else None)
                     futures[future] = (spec, time.perf_counter(), deadline)
@@ -300,7 +360,8 @@ class ParallelExecutor:
                         kind = classify_failure(exc)
                         broken = broken or kind == BROKEN_POOL
                         if self._register_failure(spec, kind, attempts[spec],
-                                                  exc, elapsed, results):
+                                                  exc, elapsed, results,
+                                                  config):
                             queue.append(spec)
                         continue
                     result = payload[0]
@@ -310,7 +371,7 @@ class ParallelExecutor:
                             "not SimResult")
                         if self._register_failure(spec, CORRUPT_RESULT,
                                                   attempts[spec], error,
-                                                  elapsed, results):
+                                                  elapsed, results, config):
                             queue.append(spec)
                         continue
                     _result, runs, trace_events, counters = payload
@@ -323,7 +384,7 @@ class ParallelExecutor:
                     # Every other future on a broken pool is doomed too:
                     # charge nobody, resubmit on a fresh pool.
                     requeue_collateral()
-                    teardown(kill=True)
+                    self._teardown(kill=True)
                     continue
                 if self.policy.timeout_s is not None and futures:
                     now = time.monotonic()
@@ -337,27 +398,29 @@ class ParallelExecutor:
                                 f"{self.policy.timeout_s:g}s")
                             if self._register_failure(
                                     spec, TIMEOUT, attempts[spec], error,
-                                    time.perf_counter() - start, results):
+                                    time.perf_counter() - start, results,
+                                    config):
                                 queue.append(spec)
                         # A running future cannot be cancelled: tear the
                         # pool down (killing the hung worker) and rerun
                         # the innocent in-flight specs at no retry cost.
                         requeue_collateral()
-                        teardown(kill=True)
+                        self._teardown(kill=True)
         except KeyboardInterrupt:
             # Ctrl-C: drop queued work, cancel what we can, terminate
             # workers so no orphan processes outlive the suite.
             for future in futures:
                 future.cancel()
-            teardown(kill=True)
+            self._teardown(kill=True)
             raise
         except Exception:
             for future in futures:
                 future.cancel()
-            teardown(kill=True)
+            self._teardown(kill=True)
             raise
         finally:
-            teardown(kill=False)
+            if not self.persistent:
+                self._teardown(kill=False)
 
     # ------------------------------------------------------------------
     # Failure bookkeeping
@@ -371,7 +434,8 @@ class ParallelExecutor:
 
     def _register_failure(self, spec: RunSpec, kind: str, attempt: int,
                           error: BaseException, seconds: float,
-                          results: Dict[RunSpec, SimResult]) -> bool:
+                          results: Dict[RunSpec, SimResult],
+                          config=None) -> bool:
         """Classify one failed attempt; True means "retry it".
 
         When the retry budget is exhausted the spec either degrades to
@@ -386,7 +450,7 @@ class ParallelExecutor:
             self._count("resilience.retries")
             return True
         if (self.degrade_serial and kind != TIMEOUT
-                and self._attempt_degraded(spec, results)):
+                and self._attempt_degraded(spec, results, config)):
             return False
         failed = FailedRun(
             benchmark=spec.benchmark, memory=spec.memory,
@@ -400,21 +464,23 @@ class ParallelExecutor:
         return False
 
     def _attempt_degraded(self, spec: RunSpec,
-                          results: Dict[RunSpec, SimResult]) -> bool:
+                          results: Dict[RunSpec, SimResult],
+                          config=None) -> bool:
         """Last resort: one in-process serial run, fault hook disabled.
 
         Rescues specs whose failures are environmental (pool breakage,
         worker OOM); a timeout never degrades — a hang would block the
         parent with no deadline to save it.
         """
+        config = config if config is not None else self.config
         start = time.perf_counter()
         try:
-            result = execute_spec(spec, self.config, attempt=0)
+            result = execute_spec(spec, config, attempt=0)
         except Exception:
             return False
         if not is_valid_result(result):
             return False
-        self.cache.put(spec_cache_key(spec, self.config), result)
+        self.cache.put(spec_cache_key(spec, config), result)
         results[spec] = result
         self._count("resilience.degraded_runs")
         self._record(spec, time.perf_counter() - start, cached=False,

@@ -111,6 +111,17 @@ class ResultCache:
         self.directory = Path(directory) if directory else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        # Per-instance traffic counters, exposed via stats(); the
+        # quarantine event is additionally mirrored into any active
+        # telemetry session (legacy cache.quarantined counter).
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "writes": 0, "quarantined": 0}
+
+    def stats(self) -> Dict[str, object]:
+        """Traffic counters for this cache handle (hits/misses/writes/
+        quarantined), plus the directory they describe."""
+        return {"directory": str(self.directory) if self.directory else None,
+                **self.counters}
 
     def _path(self, key: str) -> Optional[Path]:
         if self.directory is None:
@@ -133,6 +144,13 @@ class ResultCache:
             finally:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no read, no counters): does an entry
+        for ``key`` sit on disk? Used by the service scheduler to count
+        cache coalescing without paying a JSON load per submit."""
+        path = self._path(key)
+        return path is not None and path.exists()
+
     def get(self, key: str) -> Optional[SimResult]:
         """Recall a cached result; corruption quarantines the entry.
 
@@ -147,22 +165,27 @@ class ResultCache:
         """
         path = self._path(key)
         if path is None or not path.exists():
+            self.counters["misses"] += 1
             return None
         try:
             data = json.loads(path.read_text())
         except (json.JSONDecodeError, UnicodeDecodeError):
             return self._quarantine(path)
         except OSError:
+            self.counters["misses"] += 1
             return None
         if not isinstance(data, dict):
             return self._quarantine(path)
         if data.get("__key__") != key:
+            self.counters["misses"] += 1
             return None
         data.pop("__key__", None)
         try:
-            return SimResult(**data)
+            result = SimResult(**data)
         except (TypeError, ValueError):
             return self._quarantine(path)
+        self.counters["hits"] += 1
+        return result
 
     def _quarantine(self, path: Path) -> None:
         """Set a corrupt entry aside as ``<entry>.corrupt``."""
@@ -170,6 +193,7 @@ class ResultCache:
             os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
         except OSError:  # pragma: no cover - raced or read-only cache
             pass
+        self.counters["quarantined"] += 1
         session = active_session()
         if session is not None:
             session.incr("cache.quarantined")
@@ -179,6 +203,7 @@ class ResultCache:
         path = self._path(key)
         if path is None:
             return
+        self.counters["writes"] += 1
         data = dataclasses.asdict(result)
         data["__key__"] = key
         payload = json.dumps(data)

@@ -295,12 +295,20 @@ def main(argv=None) -> int:
     print(f"wrote {args.output}")
     if args.json:
         from repro.telemetry import run_manifest, tables_to_json
-        tables = collect_tables(config, keys)  # cached: runs recalled
+        json_keys = keys or list(ALL_EXPERIMENTS)
+        # A second executor pass recalls everything the report pass just
+        # simulated, so its cache stats record hit/miss/quarantine
+        # traffic for exactly this artefact's runs.
+        executor = ParallelExecutor(config, jobs=args.jobs)
+        results = executor.run(suite_specs(json_keys, config))
+        tables = [ALL_EXPERIMENTS[k](config, results=results)
+                  for k in json_keys]
         manifest = run_manifest(
             config={"target_dram_reads": config.target_dram_reads,
                     "benchmarks": list(config.suite()),
                     "jobs": args.jobs},
-            seed=config.seed, argv=argv)
+            seed=config.seed, argv=argv,
+            extra={"cache": executor.cache.stats()})
         with open(args.json, "w") as handle:
             handle.write(tables_to_json(tables, manifest))
         print(f"wrote {args.json}")

@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: a long-lived job server over the pipeline.
+
+``repro serve`` keeps the PR-2 :class:`ParallelExecutor` worker pool,
+the result cache, and the PR-4 retry machinery resident in one process
+and fronts them with a stdlib HTTP API, so concurrent users neither
+re-pay pool spin-up nor duplicate identical in-flight simulations.
+
+Dataflow (see DESIGN.md, "The service layer")::
+
+    POST /v1/jobs -> validate -> bounded queue -> coalescer
+        -> batched ParallelExecutor submission -> JobStore + ResultCache
+        -> GET /v1/jobs/<id>
+
+Pieces:
+
+* :mod:`repro.service.jobs`      — job model + request validation
+* :mod:`repro.service.store`     — restart-surviving job manifests
+* :mod:`repro.service.scheduler` — queue, coalescing, batching, drain
+* :mod:`repro.service.http`      — the stdlib HTTP front-end
+* :mod:`repro.service.client`    — urllib client (``repro submit``)
+"""
+
+from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
+from repro.service.http import (
+    ReproHTTPServer,
+    make_server,
+    serve_until_signal,
+)
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobValidationError,
+    parse_request,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.service.scheduler import (
+    JobScheduler,
+    QueueFull,
+    SchedulerStopped,
+)
+from repro.service.store import DEFAULT_STATE_DIR, JobStore
+
+__all__ = [
+    "DEFAULT_STATE_DIR", "DEFAULT_URL",
+    "Job", "JobScheduler", "JobStore", "JobValidationError",
+    "QueueFull", "ReproHTTPServer", "SchedulerStopped",
+    "ServiceClient", "ServiceError",
+    "QUEUED", "RUNNING", "DONE", "FAILED",
+    "make_server", "parse_request", "serve_until_signal",
+    "spec_from_dict", "spec_to_dict",
+]

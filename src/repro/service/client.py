@@ -1,0 +1,115 @@
+"""Thin stdlib client for the job server (``repro submit``/``status``).
+
+Pure ``urllib`` — the client side of the service needs nothing the
+container doesn't already have, so any script (or CI job) can submit a
+suite, poll it to completion, and read the rendered tables back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Tuple
+
+DEFAULT_URL = "http://127.0.0.1:8787"
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx answer from the server, with status and parsed body."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        self.status = status
+        self.body = body if isinstance(body, dict) else {"error": str(body)}
+        super().__init__(
+            f"HTTP {status}: {self.body.get('error', self.body)}")
+
+
+class ServiceClient:
+    def __init__(self, url: str = DEFAULT_URL, timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Tuple[int, dict, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                body = json.loads(response.read() or b"{}")
+                return response.status, body, dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read() or b"{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                body = {"error": str(exc)}
+            return exc.code, body, dict(exc.headers or {})
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, {"error": f"cannot reach {self.url}: "
+                                            f"{exc.reason}"}) from None
+
+    def _get(self, path: str) -> dict:
+        status, body, _ = self._request("GET", path)
+        if status >= 400:
+            raise ServiceError(status, body)
+        return body
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: dict, retries: int = 0,
+               backoff_s: float = 1.0) -> dict:
+        """POST a job; on 429 honour ``Retry-After`` up to ``retries``."""
+        attempt = 0
+        while True:
+            status, body, headers = self._request("POST", "/v1/jobs", request)
+            if status < 400:
+                return body
+            if status == 429 and attempt < retries:
+                attempt += 1
+                try:
+                    wait_s = float(headers.get("Retry-After", backoff_s))
+                except (TypeError, ValueError):
+                    wait_s = backoff_s
+                time.sleep(max(0.05, wait_s))
+                continue
+            raise ServiceError(status, body)
+
+    def job(self, job_id: str) -> dict:
+        return self._get(f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> dict:
+        return self._get("/v1/jobs")
+
+    def wait(self, job_id: str, poll_s: float = 0.5,
+             timeout_s: Optional[float] = None) -> dict:
+        """Poll until the job reaches ``done``/``failed``."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job.get("state") in ("done", "failed"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.get('state')} "
+                    f"after {timeout_s:g}s")
+            time.sleep(poll_s)
+
+    def health(self) -> dict:
+        # /healthz answers 503 while draining but still carries the
+        # health document; surface it rather than raising.
+        status, body, _ = self._request("GET", "/healthz")
+        if status >= 400 and "status" not in body:
+            raise ServiceError(status, body)
+        return body
+
+    def metrics(self) -> dict:
+        return self._get("/metrics")

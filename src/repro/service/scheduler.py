@@ -1,0 +1,387 @@
+"""The service's scheduler: bounded queue → coalescer → executor → store.
+
+One :class:`JobScheduler` owns a persistent
+:class:`~repro.experiments.executor.ParallelExecutor` (the worker pool
+spins up once and serves every submission) and a background thread that
+drains a bounded job queue:
+
+* **Backpressure** — :meth:`submit` refuses work beyond ``max_queue``
+  with :class:`QueueFull` (the HTTP layer maps it to 429 +
+  ``Retry-After``), so a traffic burst degrades into client retries
+  instead of an unbounded memory footprint.
+* **Coalescing** — every spec slot is keyed by its v7 cache key. A key
+  already wanted by a queued/running job, or already resolved in the
+  result cache, is marked coalesced/cached at submit time; the batch
+  builder dedupes keys across jobs so N clients asking for the same
+  simulation pay for exactly one run, and every waiter is fanned the
+  shared result.
+* **Batching** — the drain loop pops *every* queued job that shares the
+  front job's resolved config and submits their deduped spec union as
+  one executor call, so the pool stays saturated across job boundaries.
+* **Resilience** — the executor runs with ``keep_going=True`` and the
+  config's :class:`~repro.experiments.resilience.RetryPolicy`: a
+  crashed or hung worker is retried per spec, and only a spec that
+  exhausts its retries fails the *job* (never the server).
+* **Durability** — jobs persist in the
+  :class:`~repro.service.store.JobStore` at every state change;
+  :meth:`recover` re-queues whatever a dead server left behind, and
+  completed specs are recalled from the result cache instead of
+  recomputed.
+
+:meth:`shutdown` drains in-flight work: the running batch finishes and
+persists, queued jobs stay ``queued`` in the store for the next server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import asdict
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.experiments.executor import ParallelExecutor
+from repro.experiments.resilience import FailedRun, is_valid_result
+from repro.experiments.specs import RunSpec, spec_cache_key
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, Job
+from repro.service.store import JobStore
+
+DEFAULT_MAX_QUEUE = 32
+
+
+class QueueFull(RuntimeError):
+    """The bounded job queue is at capacity; retry after a beat."""
+
+    def __init__(self, depth: int, limit: int,
+                 retry_after_s: float = 1.0) -> None:
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"job queue is full ({depth}/{limit} queued); "
+            f"retry in {retry_after_s:g}s")
+
+
+class SchedulerStopped(RuntimeError):
+    """Submissions after shutdown began; maps to HTTP 503."""
+
+
+class JobScheduler:
+    """Owns the queue, the coalescing map, and the persistent executor."""
+
+    def __init__(self, config, store: Optional[JobStore] = None,
+                 executor: Optional[ParallelExecutor] = None,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 jobs: Optional[int] = None,
+                 start: bool = True,
+                 recover: bool = True) -> None:
+        self.config = config
+        self.store = store if store is not None else JobStore()
+        self.executor = executor if executor is not None else ParallelExecutor(
+            config, jobs=jobs, persistent=True, keep_going=True)
+        self.max_queue = max_queue
+        self.started_unix = time.time()
+        self.counters: Dict[str, int] = {
+            "jobs_submitted": 0, "jobs_completed": 0, "jobs_failed": 0,
+            "jobs_rejected": 0, "jobs_recovered": 0,
+            "coalesced_specs": 0, "cached_specs": 0, "simulated_specs": 0,
+            "batches": 0,
+        }
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._queue: Deque[str] = deque()
+        self._jobs: Dict[str, Job] = {}
+        # Refcount of spec cache keys across queued + running jobs: the
+        # coalescing map consulted at submit time.
+        self._wanted: Dict[str, int] = {}
+        self._thread: Optional[threading.Thread] = None
+        if recover:
+            self.recover()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-scheduler", daemon=True)
+        self._thread.start()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions; the loop exits after its batch."""
+        self._stop.set()
+        self._wake.set()
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Graceful drain: finish the in-flight batch, persist, stop.
+
+        Jobs still queued when the loop exits remain ``queued`` in the
+        store and are recovered by the next server. Safe to call twice.
+        """
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        self.executor.shutdown()
+
+    def recover(self) -> int:
+        """Re-enqueue queued/running jobs a previous server left behind."""
+        recovered = 0
+        for job in self.store.unfinished():
+            job_config = job.job_config(self.config)
+            for entry in job.entries:
+                # Keys are recomputed (not trusted from disk): a server
+                # restarted with a different seed or read target must
+                # coalesce against its *own* key space.
+                entry.key = spec_cache_key(entry.spec, job_config)
+            self._enqueue(job, recovered=True)
+            recovered += 1
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Submission path (HTTP threads)
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: object) -> Job:
+        """Validate, coalesce-tag, enqueue, and persist one submission.
+
+        Raises :class:`~repro.service.jobs.JobValidationError` (400),
+        :class:`QueueFull` (429), or :class:`SchedulerStopped` (503).
+        """
+        from repro.service.jobs import parse_request
+
+        if self._stop.is_set():
+            raise SchedulerStopped("server is draining; resubmit elsewhere")
+        job = parse_request(payload, self.config)
+        job_config = job.job_config(self.config)
+        for entry in job.entries:
+            entry.key = spec_cache_key(entry.spec, job_config)
+        self._enqueue(job)
+        return job
+
+    def _enqueue(self, job: Job, recovered: bool = False) -> None:
+        with self._lock:
+            if len(self._queue) >= self.max_queue and not recovered:
+                self.counters["jobs_rejected"] += 1
+                # Rough service-time hint: one beat per queued job.
+                raise QueueFull(len(self._queue), self.max_queue,
+                                retry_after_s=max(1.0,
+                                                  0.1 * len(self._queue)))
+            for entry in job.entries:
+                entry.coalesced = entry.key in self._wanted
+                if not entry.coalesced:
+                    entry.cached = self.executor.cache.contains(entry.key)
+                self._wanted[entry.key] = self._wanted.get(entry.key, 0) + 1
+            self.counters["coalesced_specs"] += job.coalesced_specs
+            self.counters["cached_specs"] += job.cached_specs
+            self.counters["jobs_submitted" if not recovered
+                          else "jobs_recovered"] += 1
+            job.state = QUEUED
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+        self.store.save(job)
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is not None:
+            return job
+        return self.store.load(job_id)  # finished before this process
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll_s: float = 0.02) -> Job:
+        """Block until ``job_id`` reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.done:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.state} after {timeout:g}s")
+            time.sleep(poll_s)
+
+    def health(self) -> dict:
+        with self._lock:
+            depth = len(self._queue)
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "status": "draining" if self._stop.is_set() else "ok",
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "queue_depth": depth,
+            "queue_limit": self.max_queue,
+            "jobs": states,
+        }
+
+    def metrics(self) -> dict:
+        """Telemetry snapshot for ``GET /metrics``."""
+        health = self.health()
+        service = {f"service.{name}": value
+                   for name, value in sorted(self.counters.items())}
+        executor = {f"executor.{name}": value
+                    for name, value in sorted(self.executor.counters.items())}
+        cache_stats = self.executor.cache.stats()
+        cache = {f"cache.{name}": value
+                 for name, value in sorted(cache_stats.items())
+                 if name != "directory"}
+        return {
+            "uptime_s": health["uptime_s"],
+            "queue_depth": health["queue_depth"],
+            "queue_limit": health["queue_limit"],
+            "jobs": health["jobs"],
+            "workers": self.executor.jobs,
+            **service, **executor, **cache,
+        }
+
+    # ------------------------------------------------------------------
+    # Drain loop (scheduler thread)
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=0.2)
+            self._wake.clear()
+            self._drain()
+        # Graceful stop: whatever _drain left queued stays persisted for
+        # the next server; the batch that was running has completed.
+
+    def _drain(self) -> None:
+        while not self._stop.is_set():
+            batch = self._next_batch()
+            if batch is None:
+                return
+            config, group = batch
+            try:
+                self._run_batch(config, group)
+            except Exception as exc:  # scheduler thread must survive
+                self._fail_batch(group, exc)
+
+    def _next_batch(self) -> Optional[Tuple[object, List[Job]]]:
+        """Pop every queued job compatible with the front job's config."""
+        with self._lock:
+            if not self._queue:
+                return None
+            front = self._jobs[self._queue[0]]
+            config = front.job_config(self.config)
+            group: List[Job] = []
+            deferred: Deque[str] = deque()
+            while self._queue:
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+                if job.job_config(self.config) == config:
+                    group.append(job)
+                else:
+                    deferred.append(job_id)
+            self._queue = deferred
+            now = time.time()
+            for job in group:
+                job.state = RUNNING
+                job.started_unix = now
+        for job in group:
+            self.store.save(job)
+        return config, group
+
+    def _run_batch(self, config, group: List[Job]) -> None:
+        # Union of the group's specs, deduped by cache key: the second
+        # client's identical fig-3 submission adds zero new work here.
+        union: List[RunSpec] = []
+        seen: set = set()
+        for job in group:
+            for entry in job.entries:
+                if entry.key not in seen:
+                    seen.add(entry.key)
+                    union.append(entry.spec)
+        self.counters["batches"] += 1
+        timings_before = len(self.executor.timings)
+        results = self.executor.run(union, config=config)
+        simulated = sum(
+            1 for t in self.executor.timings[timings_before:]
+            if not t["cached"] and t["status"] in ("ok", "degraded"))
+        with self._lock:
+            self.counters["simulated_specs"] += simulated
+        for job in group:
+            self._finish_job(job, config, results)
+
+    def _finish_job(self, job: Job, config,
+                    results: Dict[RunSpec, object]) -> None:
+        rows: List[dict] = []
+        failures: List[dict] = []
+        for entry in job.entries:
+            result = results.get(entry.spec)
+            if is_valid_result(result):
+                entry.state = "done"
+                row = {"label": entry.spec.label, "key": entry.key,
+                       "throughput": result.throughput}
+                row.update(asdict(result))
+                rows.append(row)
+            else:
+                entry.state = "failed"
+                failed = result if isinstance(result, FailedRun) else None
+                failures.append({
+                    "label": entry.spec.label,
+                    "kind": failed.kind if failed else "missing-result",
+                    "attempts": failed.attempts if failed else 0,
+                    "error": failed.error if failed
+                    else "executor returned no result for this spec",
+                })
+        job.results = rows
+        job.failures = failures
+        job.error = ""
+        if job.experiment and not failures:
+            try:
+                from repro.experiments import ALL_EXPERIMENTS
+                table = ALL_EXPERIMENTS[job.experiment](config,
+                                                        results=results)
+                job.table = table.format()
+            except Exception as exc:
+                job.error = (f"rendering {job.experiment} failed: "
+                             f"{type(exc).__name__}: {exc}")
+        job.state = FAILED if (failures or job.error) else DONE
+        job.finished_unix = time.time()
+        with self._lock:
+            self._release(job)
+            self.counters["jobs_failed" if job.state == FAILED
+                          else "jobs_completed"] += 1
+        self.store.save(job)
+
+    def _fail_batch(self, group: List[Job], exc: Exception) -> None:
+        for job in group:
+            job.state = FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_unix = time.time()
+            with self._lock:
+                self._release(job)
+                self.counters["jobs_failed"] += 1
+            self.store.save(job)
+
+    def _release(self, job: Job) -> None:
+        """Drop the job's coalescing refcounts (lock held by caller)."""
+        for entry in job.entries:
+            count = self._wanted.get(entry.key, 0) - 1
+            if count > 0:
+                self._wanted[entry.key] = count
+            else:
+                self._wanted.pop(entry.key, None)

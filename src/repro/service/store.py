@@ -1,0 +1,82 @@
+"""Durable job manifests: the piece of the service that survives
+restarts.
+
+The :class:`JobStore` persists one JSON manifest per job (atomically,
+temp file + ``os.replace``, same discipline as
+:class:`~repro.experiments.runner.ResultCache`). Simulation *results*
+are not duplicated here — workers write them into the shared
+``ResultCache`` keyed by v7 spec keys, so a restarted server reloads
+queued/running manifests, re-enqueues them, and the executor recalls
+every spec that already completed instead of recomputing it. Finished
+jobs keep their result rows and rendered table in the manifest so
+``GET /v1/jobs/<id>`` answers without touching the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from repro.service.jobs import TERMINAL_STATES, Job
+
+DEFAULT_STATE_DIR = ".repro_jobs"
+
+
+class JobStore:
+    """Directory of ``<job-id>.json`` manifests with atomic writes."""
+
+    def __init__(self, directory: str = DEFAULT_STATE_DIR) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job_id: str) -> Path:
+        # Job ids are generated server-side (j-<hex>), but manifests are
+        # looked up by client-supplied ids: refuse path separators.
+        if "/" in job_id or os.sep in job_id or job_id in (".", ".."):
+            raise ValueError(f"invalid job id {job_id!r}")
+        return self.directory / f"{job_id}.json"
+
+    def save(self, job: Job) -> None:
+        path = self._path(job.id)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(job.to_dict(), default=str))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def load(self, job_id: str) -> Optional[Job]:
+        try:
+            path = self._path(job_id)
+        except ValueError:
+            return None
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            return Job.from_dict(data)
+        except Exception:
+            # A manifest this server version cannot parse (schema drift,
+            # hand-edited file) reads as absent rather than crashing
+            # every listing that walks the directory.
+            return None
+
+    def job_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.directory.glob("j-*.json"))
+
+    def load_all(self) -> List[Job]:
+        jobs = [self.load(job_id) for job_id in self.job_ids()]
+        return [job for job in jobs if job is not None]
+
+    def unfinished(self) -> List[Job]:
+        """Jobs a previous server left queued or running, oldest first."""
+        pending = [job for job in self.load_all()
+                   if job.state not in TERMINAL_STATES]
+        return sorted(pending, key=lambda job: job.created_unix)

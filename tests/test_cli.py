@@ -91,3 +91,15 @@ class TestRunSubcommand:
         err = capsys.readouterr().err
         assert "did you mean" in err and "hmc_cwf" in err
         assert "registered memory backends" in err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_short_flag(self, capsys):
+        assert main(["-V"]) == 0
+        assert "repro " in capsys.readouterr().out

@@ -4,6 +4,8 @@ import json
 import pickle
 import threading
 
+import pytest
+
 from repro.experiments import EXPERIMENT_SPECS, suite_specs
 from repro.experiments.cwf_eval import figure_6, specs_figure_6
 from repro.experiments.executor import (
@@ -283,3 +285,95 @@ class TestParallelTelemetry:
         session.ingest([], [{"name": "y", "pid": 1, "tid": 0}])
         pids = [t.events[0]["pid"] for t in session._tracers]
         assert len(set(pids)) == 2
+
+class TestPersistentExecutor:
+    """Service-mode executor: one pool across run() calls."""
+
+    READS = 60
+
+    def config(self, tmp_path, reads=READS):
+        return ExperimentConfig(target_dram_reads=reads,
+                                benchmarks=("mcf",),
+                                cache_dir=str(tmp_path / "cache"))
+
+    def test_pool_survives_across_runs(self, tmp_path):
+        config = self.config(tmp_path)
+        with ParallelExecutor(config, jobs=2, persistent=True) as executor:
+            executor.run([RunSpec("mcf", "ddr3")])
+            pool = executor._pool
+            assert pool is not None  # kept warm after the batch
+            executor.run([RunSpec("mcf", "rl")])
+            assert executor._pool is pool  # no respawn for batch two
+        assert executor._pool is None  # context exit tears it down
+
+    def test_default_executor_releases_pool(self, tmp_path):
+        executor = ParallelExecutor(self.config(tmp_path), jobs=2)
+        executor.run([RunSpec("mcf", "ddr3")])
+        assert executor._pool is None
+
+    def test_reconfiguring_live_pool_raises(self, tmp_path):
+        config = self.config(tmp_path)
+        executor = ParallelExecutor(config, jobs=2, persistent=True)
+        try:
+            executor.run([RunSpec("mcf", "ddr3")])
+            with pytest.raises(RuntimeError, match="live worker pool"):
+                executor.jobs = 4
+            assert executor.jobs == 2  # unchanged by the failed set
+        finally:
+            executor.shutdown()
+        # With the pool gone the same assignment is legal again.
+        executor.jobs = 4
+        assert executor.jobs == 4
+
+    def test_jobs_resolved_once_at_construction(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        executor = ParallelExecutor(self.config(tmp_path))
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert executor.jobs == 3  # later env changes never apply silently
+
+    def test_per_call_config_override(self, tmp_path):
+        base = self.config(tmp_path)
+        # Far enough apart that the epoch-granular stop check actually
+        # yields a different simulation, not just a different key.
+        other = self.config(tmp_path, reads=600)
+        executor = ParallelExecutor(base, jobs=1)
+        spec = RunSpec("mcf", "ddr3")
+        a = executor.run([spec])[spec]
+        b = executor.run([spec], config=other)[spec]
+        # Distinct configs key (and simulate) independently...
+        assert not executor.timings[1]["cached"]
+        assert b.dram_reads > a.dram_reads
+        # ...and each is recalled under its own config afterwards.
+        assert executor.run([spec], config=other)[spec] == b
+        assert executor.timings[2]["cached"] is True
+
+
+class TestCacheStats:
+    def test_counters_track_traffic(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.stats() == {"directory": str(tmp_path), "hits": 0,
+                                 "misses": 0, "writes": 0, "quarantined": 0}
+        assert cache.get("key") is None
+        cache.put("key", make_result())
+        assert cache.get("key") is not None
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["writes"]) == (1, 1, 1)
+
+    def test_contains_probe_is_free(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert not cache.contains("key")
+        cache.put("key", make_result())
+        assert cache.contains("key")
+        assert cache.stats()["hits"] == cache.stats()["misses"] == 0
+
+    def test_corrupt_entry_counted_as_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("key", make_result())
+        cache._path("key").write_text("not json {")
+        assert cache.get("key") is None
+        assert cache.stats()["quarantined"] == 1
+
+    def test_null_cache_stats(self):
+        cache = ResultCache(None)
+        assert cache.stats()["directory"] is None
+        assert not cache.contains("key")

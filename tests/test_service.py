@@ -1,0 +1,371 @@
+"""Tests for the simulation service: validation, store, scheduler
+(coalescing, backpressure, restart resume, fault-injected retries),
+and the HTTP front-end.
+
+Most tests drive the :class:`JobScheduler` directly with a tiny config
+(60 fetches, one benchmark, serial executor) so they stay fast and
+deterministic; the HTTP tests bind a real ``ThreadingHTTPServer`` to an
+ephemeral port and go through :class:`ServiceClient`, exactly like the
+``repro submit`` CLI does.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.resilience import (
+    FaultPlan,
+    activate_fault_plan,
+    deactivate_fault_plan,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.service import (
+    Job,
+    JobScheduler,
+    JobStore,
+    JobValidationError,
+    QueueFull,
+    SchedulerStopped,
+    ServiceClient,
+    ServiceError,
+    make_server,
+    parse_request,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.experiments.specs import RunSpec
+
+READS = 60
+SPEC_MCF_DDR3 = {"benchmark": "mcf", "memory": "ddr3"}
+
+
+def make_config(tmp_path, **overrides) -> ExperimentConfig:
+    kwargs = dict(target_dram_reads=READS, benchmarks=("mcf",),
+                  cache_dir=str(tmp_path / "cache"))
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def make_scheduler(tmp_path, start=True, recover=False,
+                   config=None, **kwargs) -> JobScheduler:
+    config = config if config is not None else make_config(tmp_path)
+    store = JobStore(str(tmp_path / "jobs"))
+    return JobScheduler(config, store=store, jobs=1, start=start,
+                        recover=recover, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def config(self):
+        return ExperimentConfig(target_dram_reads=READS)
+
+    def test_unknown_backend_answers_did_you_mean(self):
+        with pytest.raises(JobValidationError, match="ddr3"):
+            parse_request({"specs": [{"benchmark": "mcf",
+                                      "memory": "ddr333"}]}, self.config())
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(JobValidationError, match="fig6"):
+            parse_request({"experiment": "fig99"}, self.config())
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(JobValidationError, match="unknown benchmark"):
+            parse_request({"specs": [{"benchmark": "quake",
+                                      "memory": "ddr3"}]}, self.config())
+
+    def test_unknown_request_field(self):
+        with pytest.raises(JobValidationError, match="unknown request"):
+            parse_request({"spec": []}, self.config())
+
+    def test_empty_job(self):
+        with pytest.raises(JobValidationError, match="empty job"):
+            parse_request({}, self.config())
+
+    def test_bad_reads(self):
+        with pytest.raises(JobValidationError, match="positive integer"):
+            parse_request({"specs": [SPEC_MCF_DDR3], "reads": -5},
+                          self.config())
+
+    def test_unknown_runner(self):
+        with pytest.raises(JobValidationError, match="unknown named runner"):
+            parse_request({"specs": [{"benchmark": "mcf", "memory": "ddr3",
+                                      "runner": "nope"}]}, self.config())
+
+    def test_experiment_expands_specs(self):
+        job = parse_request({"experiment": "fig3"}, self.config())
+        assert len(job.entries) == 2  # FIG3_BENCHMARKS
+        assert all(e.spec.runner == "criticality_fig3" for e in job.entries)
+
+    def test_within_job_dedupe(self):
+        job = parse_request({"specs": [SPEC_MCF_DDR3, SPEC_MCF_DDR3]},
+                            self.config())
+        assert len(job.entries) == 1
+
+
+class TestSerialization:
+    def test_spec_round_trip(self):
+        spec = RunSpec("mcf", "rl", variant="x",
+                       overrides=(("prefetcher_enabled", False),),
+                       params=(("depth", 4),))
+        # JSON turns tuples into lists; the round trip restores them.
+        rebuilt = spec_from_dict(json.loads(json.dumps(spec_to_dict(spec))))
+        assert rebuilt == spec
+
+    def test_job_round_trip(self, tmp_path):
+        config = make_config(tmp_path)
+        job = parse_request({"specs": [SPEC_MCF_DDR3], "tag": "t",
+                             "reads": 99}, config)
+        rebuilt = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert rebuilt.id == job.id
+        assert rebuilt.reads == 99
+        assert rebuilt.entries[0].spec == job.entries[0].spec
+
+    def test_store_round_trip_and_unfinished(self, tmp_path):
+        config = make_config(tmp_path)
+        store = JobStore(str(tmp_path / "jobs"))
+        job = parse_request({"specs": [SPEC_MCF_DDR3]}, config)
+        store.save(job)
+        assert store.load(job.id).id == job.id
+        assert [j.id for j in store.unfinished()] == [job.id]
+        job.state = "done"
+        store.save(job)
+        assert store.unfinished() == []
+
+    def test_store_rejects_traversal_ids(self, tmp_path):
+        store = JobStore(str(tmp_path / "jobs"))
+        assert store.load("../../etc/passwd") is None
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: coalescing, backpressure, restart, retries
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_identical_submits_run_one_simulation(self, tmp_path):
+        """N submits of the same spec while queued -> one simulation."""
+        sched = make_scheduler(tmp_path, start=False)
+        try:
+            jobs = [sched.submit({"specs": [SPEC_MCF_DDR3]})
+                    for _ in range(4)]
+            # All but the first coalesce against the wanted-key map.
+            assert jobs[0].coalesced_specs == 0
+            assert all(job.coalesced_specs == 1 for job in jobs[1:])
+            sched.start()
+            finished = [sched.wait(job.id, timeout=120) for job in jobs]
+            assert all(job.state == "done" for job in finished)
+            assert sched.counters["simulated_specs"] == 1
+            assert sched.counters["coalesced_specs"] == 3
+            # Every waiter got the same underlying result.
+            cycles = {job.results[0]["elapsed_cycles"] for job in finished}
+            assert len(cycles) == 1
+        finally:
+            sched.shutdown()
+
+    def test_backpressure_429_then_retry_succeeds(self, tmp_path):
+        sched = make_scheduler(tmp_path, start=False, max_queue=2)
+        try:
+            sched.submit({"specs": [SPEC_MCF_DDR3]})
+            sched.submit({"specs": [SPEC_MCF_DDR3]})
+            with pytest.raises(QueueFull) as excinfo:
+                sched.submit({"specs": [SPEC_MCF_DDR3]})
+            assert excinfo.value.retry_after_s >= 1.0
+            assert sched.counters["jobs_rejected"] == 1
+            sched.start()
+            # Once the queue drains, the retried submit is accepted and
+            # serves straight from the now-warm cache.
+            for job in list(sched.jobs()):
+                sched.wait(job.id, timeout=120)
+            retried = sched.submit({"specs": [SPEC_MCF_DDR3]})
+            assert sched.wait(retried.id, timeout=120).state == "done"
+            assert sched.counters["simulated_specs"] == 1
+        finally:
+            sched.shutdown()
+
+    def test_restart_resumes_from_store_without_recompute(self, tmp_path):
+        config = make_config(tmp_path)
+        sched1 = make_scheduler(tmp_path, config=config)
+        job = sched1.submit({"specs": [SPEC_MCF_DDR3]})
+        done = sched1.wait(job.id, timeout=120)
+        sched1.shutdown()
+        assert sched1.counters["simulated_specs"] == 1
+
+        # Forge the manifest a server killed mid-suite would leave:
+        # same specs, still queued. The replacement server recovers it
+        # and resolves every completed spec from the result cache.
+        data = done.to_dict()
+        data.update(id="j-resume0001", state="queued", results=[],
+                    failures=[], table="", finished_unix=None)
+        store = JobStore(str(tmp_path / "jobs"))
+        store.save(Job.from_dict(data))
+
+        sched2 = JobScheduler(config, store=store, jobs=1, recover=True)
+        try:
+            assert sched2.counters["jobs_recovered"] == 1
+            resumed = sched2.wait("j-resume0001", timeout=120)
+            assert resumed.state == "done"
+            assert sched2.counters["simulated_specs"] == 0  # cache recall
+            assert resumed.results[0]["elapsed_cycles"] == \
+                done.results[0]["elapsed_cycles"]
+        finally:
+            sched2.shutdown()
+
+    def test_injected_crash_retried_without_failing_job(self, tmp_path):
+        config = make_config(tmp_path, retries=1)
+        activate_fault_plan(FaultPlan.parse("mcf/ddr3=crash:1"))
+        try:
+            sched = make_scheduler(tmp_path, config=config)
+            try:
+                job = sched.submit({"specs": [SPEC_MCF_DDR3]})
+                assert sched.wait(job.id, timeout=120).state == "done"
+                metrics = sched.metrics()
+                assert metrics["executor.resilience.retries"] == 1
+                assert metrics["jobs"].get("failed") is None
+            finally:
+                sched.shutdown()
+        finally:
+            deactivate_fault_plan()
+
+    def test_exhausted_spec_fails_job_not_server(self, tmp_path):
+        activate_fault_plan(FaultPlan.parse("mcf/ddr3=crash:*"))
+        try:
+            sched = make_scheduler(tmp_path)
+            try:
+                job = sched.submit({"specs": [SPEC_MCF_DDR3]})
+                failed = sched.wait(job.id, timeout=120)
+                assert failed.state == "failed"
+                assert failed.failures[0]["kind"] == "crash"
+                # The scheduler thread survived; a clean job still runs.
+                deactivate_fault_plan()
+                ok = sched.submit({"specs": [SPEC_MCF_DDR3]})
+                assert sched.wait(ok.id, timeout=120).state == "done"
+            finally:
+                sched.shutdown()
+        finally:
+            deactivate_fault_plan()
+
+    def test_submit_after_drain_is_refused(self, tmp_path):
+        sched = make_scheduler(tmp_path)
+        sched.shutdown()
+        with pytest.raises(SchedulerStopped):
+            sched.submit({"specs": [SPEC_MCF_DDR3]})
+
+    def test_concurrent_fig3_clients_byte_identical_tables(self, tmp_path):
+        """The acceptance scenario: two clients, one simulation run."""
+        sched = make_scheduler(tmp_path, start=False)
+        try:
+            first = sched.submit({"experiment": "fig3"})
+            second = sched.submit({"experiment": "fig3"})
+            spec_count = len(second.entries)
+            assert spec_count == 2
+            assert second.coalesced_specs == spec_count
+            sched.start()
+            first = sched.wait(first.id, timeout=300)
+            second = sched.wait(second.id, timeout=300)
+            assert first.state == second.state == "done"
+            assert first.table and first.table == second.table
+            assert sched.counters["simulated_specs"] == spec_count
+        finally:
+            sched.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A paused scheduler behind a live server on an ephemeral port."""
+    sched = make_scheduler(tmp_path, start=False, max_queue=4)
+    server = make_server(sched, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}",
+                           timeout_s=10)
+    try:
+        yield sched, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        sched.shutdown()
+        thread.join(timeout=5)
+
+
+class TestHTTP:
+    def test_healthz_and_metrics(self, service):
+        sched, client = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["queue_limit"] == 4
+        metrics = client.metrics()
+        assert metrics["service.jobs_submitted"] == 0
+        assert "cache.quarantined" in metrics
+
+    def test_unknown_paths_404(self, service):
+        _, client = service
+        for path in ("/nope", "/v1/jobs/j-missing"):
+            with pytest.raises(ServiceError) as excinfo:
+                client._get(path)
+            assert excinfo.value.status == 404
+
+    def test_invalid_submit_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"specs": [{"benchmark": "mcf",
+                                      "memory": "ddr333"}]})
+        assert excinfo.value.status == 400
+        assert "ddr3" in excinfo.value.body["error"]
+
+    def test_submit_poll_complete(self, service):
+        sched, client = service
+        job = client.submit({"specs": [SPEC_MCF_DDR3], "tag": "t1"})
+        assert job["state"] == "queued"
+        sched.start()
+        done = client.wait(job["id"], poll_s=0.05, timeout_s=120)
+        assert done["state"] == "done"
+        assert done["tag"] == "t1"
+        assert done["results"][0]["label"] == "mcf/ddr3"
+
+    def test_concurrent_http_submits_coalesce(self, service):
+        sched, client = service
+        results, errors = [], []
+
+        def post():
+            try:
+                results.append(client.submit({"specs": [SPEC_MCF_DDR3]}))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=post) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        sched.start()
+        finished = [client.wait(job["id"], poll_s=0.05, timeout_s=120)
+                    for job in results]
+        assert all(job["state"] == "done" for job in finished)
+        assert client.metrics()["service.simulated_specs"] == 1
+
+    def test_backpressure_429_retry_after(self, service):
+        sched, client = service
+        for _ in range(4):  # fill the queue (limit 4, scheduler paused)
+            client.submit({"specs": [SPEC_MCF_DDR3]})
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"specs": [SPEC_MCF_DDR3]})
+        assert excinfo.value.status == 429
+        # The client-side retry loop honours Retry-After once the
+        # scheduler starts draining the queue.
+        sched.start()
+        job = client.submit({"specs": [SPEC_MCF_DDR3]}, retries=20,
+                            backoff_s=0.1)
+        assert client.wait(job["id"], poll_s=0.05,
+                           timeout_s=120)["state"] == "done"
