@@ -3,10 +3,22 @@
 Reports wall time for the same deterministic run in three modes —
 un-instrumented (null-sink defaults), metrics-only, and metrics+trace —
 so regressions in the hot-path instrumentation show up as a ratio.
-The hard <=5% null-sink bound lives in tests/test_telemetry.py; this
-bench is for watching the *instrumented* cost, which is allowed to be
-larger (it does real work) but should stay within a small factor.
+
+Overhead budget (enforced by ``test_instrumented_overhead_budget``,
+best-of-3 CPU time, interleaved to cancel machine drift):
+
+* metrics-only:    <= 2.0x the null-sink run
+* metrics + trace: <= 3.5x the null-sink run
+
+The budgets are deliberately above today's measured ratios (~1.3x and
+~2.2x on the reference machine) so only a real hot-path regression —
+telemetry probes growing work on the un-instrumented path, or the
+instrumented path picking up per-event allocations — trips them, not
+scheduler noise. The much harder <=5% *null-sink* bound (telemetry off
+must cost nothing) lives in tests/test_telemetry.py and is tier-1.
 """
+
+import time
 
 import pytest
 
@@ -17,6 +29,9 @@ from repro.workloads.profiles import profile_for
 
 BENCH = "mcf"
 READS = 1500
+
+METRICS_BUDGET = 2.0
+TRACE_BUDGET = 3.5
 
 
 def _run(telemetry=None):
@@ -57,3 +72,51 @@ def test_metrics_and_trace_run(benchmark):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.telemetry is not None
     assert session._tracers and session._tracers[-1].events
+
+
+def _best_cpu(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.process_time()
+        fn()
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def test_instrumented_overhead_budget():
+    """Instrumentation cost must stay within the stated budgets.
+
+    Interleaved best-of-3 CPU time: each mode is measured in the same
+    loop so a machine-wide slowdown hits all three equally and the
+    ratios stay meaningful.
+    """
+    def metrics_run():
+        session = TelemetrySession(trace_enabled=False)
+        _run(session.begin_run(BENCH, "rl"))
+
+    def trace_run():
+        session = TelemetrySession(trace_enabled=True)
+        _run(session.begin_run(BENCH, "rl"))
+
+    null_t = metrics_t = trace_t = float("inf")
+    for _ in range(3):
+        start = time.process_time()
+        _run()
+        null_t = min(null_t, time.process_time() - start)
+        start = time.process_time()
+        metrics_run()
+        metrics_t = min(metrics_t, time.process_time() - start)
+        start = time.process_time()
+        trace_run()
+        trace_t = min(trace_t, time.process_time() - start)
+
+    metrics_ratio = metrics_t / null_t
+    trace_ratio = trace_t / null_t
+    assert metrics_ratio <= METRICS_BUDGET, (
+        f"metrics-only run is {metrics_ratio:.2f}x the null-sink run "
+        f"(budget {METRICS_BUDGET}x): null={null_t:.3f}s "
+        f"metrics={metrics_t:.3f}s")
+    assert trace_ratio <= TRACE_BUDGET, (
+        f"metrics+trace run is {trace_ratio:.2f}x the null-sink run "
+        f"(budget {TRACE_BUDGET}x): null={null_t:.3f}s "
+        f"trace={trace_t:.3f}s")

@@ -194,6 +194,17 @@ class CriticalWordMemory(MemorySystem):
         self._tag_seeder = tag_seeder
         self.fault_injector = FaultInjector(config.parity_error_rate)
         self.parity_deferrals = 0
+        # Hot-path flattening: issue_read/issue_write run once per LLC
+        # miss, and every geometry constant below is frozen after
+        # construction (CWFConfig and DeviceConfig are frozen dataclasses).
+        self._policy = config.policy
+        self._rps = config.fast_ranks_per_subchannel
+        self._nch = config.num_bulk_channels
+        self._lpr = self.bulk_mapper.lines_per_row
+        self._fd_banks = fast_dev.num_banks
+        self._fd_rows = fast_dev.num_rows
+        self._fd_cols = fast_dev.num_cols
+        self._shared_cmd = config.shared_command_bus
 
     # ------------------------------------------------------------------
     # Placement policy
@@ -201,7 +212,7 @@ class CriticalWordMemory(MemorySystem):
 
     def fast_word(self, line_address: int) -> int:
         """Which word of the line currently lives on the fast DIMM."""
-        policy = self.config.policy
+        policy = self._policy
         if policy is CWFPolicy.STATIC or policy is CWFPolicy.ORACLE:
             return 0
         if policy is CWFPolicy.ADAPTIVE:
@@ -216,7 +227,7 @@ class CriticalWordMemory(MemorySystem):
         return (h >> 40) % WORDS_PER_LINE
 
     def _covers(self, line_address: int, critical_word: int) -> bool:
-        if self.config.policy is CWFPolicy.ORACLE:
+        if self._policy is CWFPolicy.ORACLE:
             return True
         return self.fast_word(line_address) == critical_word
 
@@ -224,30 +235,32 @@ class CriticalWordMemory(MemorySystem):
     # Address mapping for the fast side
     # ------------------------------------------------------------------
 
-    def _fast_decode(self, line_address: int) -> DecodedAddress:
+    def _fast_decode(self, line_address: int,
+                     d_bulk: Optional[DecodedAddress] = None) -> DecodedAddress:
         """Locate a line's critical word on the fast side.
 
         Sub-channel = the line's bulk channel, so both parts of a line
         always travel through their own dedicated resources. Within the
         sub-channel, lines interleave across the four single-chip ranks,
-        then across the chip's banks (close-page mapping).
+        then across the chip's banks (close-page mapping). Callers that
+        already decoded the bulk side pass ``d_bulk`` to avoid a second
+        mapper decode per request.
         """
-        d_bulk = self.bulk_mapper.decode(line_address * LINE_BYTES)
-        dev = self.config.fast_device
-        rps = self.config.fast_ranks_per_subchannel
+        if d_bulk is None:
+            d_bulk = self.bulk_mapper.decode(line_address * LINE_BYTES)
+        rps = self._rps
         # Index of this line within its bulk channel (the open-page map
         # interleaves channels at row granularity, not line granularity).
-        lpr = self.bulk_mapper.lines_per_row
-        nch = self.config.num_bulk_channels
-        within = ((line_address // (lpr * nch)) * lpr
+        lpr = self._lpr
+        within = ((line_address // (lpr * self._nch)) * lpr
                   + line_address % lpr)
         sub_rank = within % rps
         rest = within // rps
-        bank = rest % dev.num_banks
-        rest //= dev.num_banks
-        row = rest % dev.num_rows
-        column = (rest // dev.num_rows) % dev.num_cols
-        if self.config.shared_command_bus:
+        bank = rest % self._fd_banks
+        rest //= self._fd_banks
+        row = rest % self._fd_rows
+        column = (rest // self._fd_rows) % self._fd_cols
+        if self._shared_cmd:
             return DecodedAddress(channel=0,
                                   rank=d_bulk.channel * rps + sub_rank,
                                   bank=bank, row=row, column=column)
@@ -267,7 +280,7 @@ class CriticalWordMemory(MemorySystem):
                    on_complete: Callable[[int], None]) -> bool:
         address = line_address * LINE_BYTES
         bulk_decoded = self.bulk_mapper.decode(address)
-        fast_decoded = self._fast_decode(line_address)
+        fast_decoded = self._fast_decode(line_address, bulk_decoded)
         bulk_mc = self.bulk_controllers[bulk_decoded.channel]
         fast_mc = self._fast_controller(fast_decoded)
         if bulk_mc.read_queue_free <= 0 or fast_mc.read_queue_free <= 0:
@@ -278,36 +291,42 @@ class CriticalWordMemory(MemorySystem):
         parity_ok = (not covers) or self.fault_injector.fast_part_ok()
         if covers and not parity_ok:
             self.parity_deferrals += 1
-        state = {"fast_end": None, "bulk_end": None, "woken": False}
+        # Per-read transaction state shared by the closures below:
+        # [fast_end, bulk_end, woken]. A list is cheaper to allocate and
+        # index than a dict, and this runs once per LLC miss.
+        state = [None, None, False]
 
         def wake(t: int, from_fast: bool) -> None:
-            if state["woken"]:
+            if state[2]:
                 return
-            state["woken"] = True
+            state[2] = True
             if not is_prefetch:
                 self.stats.sum_critical_latency += t - start
-                self._h_critical.observe(t - start)
                 if from_fast:
                     self.stats.critical_served_fast += 1
-                    self._c_fast.inc()
                 else:
                     self.stats.critical_served_slow += 1
-                    self._c_slow.inc()
+                if self._telemetry_attached:
+                    self._h_critical.observe(t - start)
+                    (self._c_fast if from_fast else self._c_slow).inc()
             on_critical(t)
 
         def check_complete() -> None:
-            if state["fast_end"] is None or state["bulk_end"] is None:
+            fast_end = state[0]
+            bulk_end = state[1]
+            if fast_end is None or bulk_end is None:
                 return
-            t = max(state["fast_end"], state["bulk_end"])
-            if not state["woken"]:
+            t = fast_end if fast_end >= bulk_end else bulk_end
+            if not state[2]:
                 # Parity deferral: data released only with the full line.
                 wake(t, from_fast=False)
             self.stats.sum_fill_latency += t - start
-            self._h_fill.observe(t - start)
+            if self._telemetry_attached:
+                self._h_fill.observe(t - start)
             on_complete(t)
 
         def fast_done(t: int) -> None:
-            state["fast_end"] = t
+            state[0] = t
             if covers and parity_ok:
                 wake(t, from_fast=True)
             check_complete()
@@ -317,7 +336,7 @@ class CriticalWordMemory(MemorySystem):
                 wake(t, from_fast=False)
 
         def bulk_done(t: int) -> None:
-            state["bulk_end"] = t
+            state[1] = t
             check_complete()
 
         fast_req = MemoryRequest(
@@ -333,10 +352,12 @@ class CriticalWordMemory(MemorySystem):
         if not fast_mc.enqueue(fast_req) or not bulk_mc.enqueue(bulk_req):
             raise RuntimeError("CWF enqueue failed after capacity check")
         self.stats.reads += 1
-        self._c_reads.inc()
         if not is_prefetch:
             self.stats.demand_reads += 1
-            self._c_demand_reads.inc()
+        if self._telemetry_attached:
+            self._c_reads.inc()
+            if not is_prefetch:
+                self._c_demand_reads.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -347,12 +368,12 @@ class CriticalWordMemory(MemorySystem):
                     core_id: int) -> bool:
         address = line_address * LINE_BYTES
         bulk_decoded = self.bulk_mapper.decode(address)
-        fast_decoded = self._fast_decode(line_address)
+        fast_decoded = self._fast_decode(line_address, bulk_decoded)
         bulk_mc = self.bulk_controllers[bulk_decoded.channel]
         fast_mc = self._fast_controller(fast_decoded)
         if bulk_mc.write_queue_free <= 0 or fast_mc.write_queue_free <= 0:
             return False
-        if self.config.policy is CWFPolicy.ADAPTIVE:
+        if self._policy is CWFPolicy.ADAPTIVE:
             # Dirty writeback re-organises the line (Sec 4.2.5).
             self._tags[line_address] = critical_word_tag
         bulk_req = MemoryRequest(kind=RequestKind.WRITE, address=address,
@@ -362,7 +383,8 @@ class CriticalWordMemory(MemorySystem):
         if not bulk_mc.enqueue(bulk_req) or not fast_mc.enqueue(fast_req):
             raise RuntimeError("CWF write enqueue failed after capacity check")
         self.stats.writes += 1
-        self._c_writes.inc()
+        if self._telemetry_attached:
+            self._c_writes.inc()
         return True
 
     # ------------------------------------------------------------------

@@ -129,18 +129,19 @@ class PagePlacementMemory(MemorySystem):
         def critical_cb(t: int) -> None:
             if not is_prefetch:
                 self.stats.sum_critical_latency += t - start
-                self._h_critical.observe(t - start)
                 if fast:
                     self.stats.critical_served_fast += 1
-                    self._c_fast.inc()
                 else:
                     self.stats.critical_served_slow += 1
-                    self._c_slow.inc()
+                if self._telemetry_attached:
+                    self._h_critical.observe(t - start)
+                    (self._c_fast if fast else self._c_slow).inc()
             on_critical(t)
 
         def complete_cb(t: int) -> None:
             self.stats.sum_fill_latency += t - start
-            self._h_fill.observe(t - start)
+            if self._telemetry_attached:
+                self._h_fill.observe(t - start)
             on_complete(t)
 
         request = MemoryRequest(
@@ -151,10 +152,12 @@ class PagePlacementMemory(MemorySystem):
         if not controller.enqueue(request):
             return False
         self.stats.reads += 1
-        self._c_reads.inc()
         if not is_prefetch:
             self.stats.demand_reads += 1
-            self._c_demand_reads.inc()
+        if self._telemetry_attached:
+            self._c_reads.inc()
+            if not is_prefetch:
+                self._c_demand_reads.inc()
         return True
 
     def issue_write(self, line_address: int, critical_word_tag: int,
@@ -166,7 +169,8 @@ class PagePlacementMemory(MemorySystem):
         if not controller.enqueue(request):
             return False
         self.stats.writes += 1
-        self._c_writes.inc()
+        if self._telemetry_attached:
+            self._c_writes.inc()
         return True
 
     # ------------------------------------------------------------------

@@ -40,22 +40,40 @@ L2_CONFIG = CacheConfig(name="L2", size_bytes=4 * 1024 * 1024,
                         associativity=8, latency=10)
 
 
-@dataclass
 class CacheLine:
-    """Tag-store entry."""
+    """Tag-store entry.
 
-    line_address: int
-    dirty: bool = False
-    critical_word: int = 0
+    Slotted: one is allocated per resident line (hundreds of thousands
+    during L2 prewarm) and probed on every access.
+    """
+
+    __slots__ = ("line_address", "dirty", "critical_word")
+
+    def __init__(self, line_address: int, dirty: bool = False,
+                 critical_word: int = 0) -> None:
+        self.line_address = line_address
+        self.dirty = dirty
+        self.critical_word = critical_word
+
+    def __repr__(self) -> str:
+        return (f"CacheLine(line_address={self.line_address:#x}, "
+                f"dirty={self.dirty}, critical_word={self.critical_word})")
 
 
-@dataclass
 class EvictedLine:
     """What :meth:`Cache.insert` pushed out, if anything."""
 
-    line_address: int
-    dirty: bool
-    critical_word: int
+    __slots__ = ("line_address", "dirty", "critical_word")
+
+    def __init__(self, line_address: int, dirty: bool,
+                 critical_word: int) -> None:
+        self.line_address = line_address
+        self.dirty = dirty
+        self.critical_word = critical_word
+
+    def __repr__(self) -> str:
+        return (f"EvictedLine(line_address={self.line_address:#x}, "
+                f"dirty={self.dirty}, critical_word={self.critical_word})")
 
 
 class Cache:
@@ -67,8 +85,13 @@ class Cache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        # Geometry flattened to ints: ``num_sets`` is a derived property
+        # on the (frozen) config, and the set-index modulo runs on every
+        # probe and fill, so both are resolved once here.
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
         self._sets: list[Dict[int, CacheLine]] = [
-            {} for _ in range(config.num_sets)
+            {} for _ in range(self._num_sets)
         ]
         self.hits = 0
         self.misses = 0
@@ -76,11 +99,11 @@ class Cache:
         self.dirty_evictions = 0
 
     def _set_index(self, line_address: int) -> int:
-        return line_address % self.config.num_sets
+        return line_address % self._num_sets
 
     def lookup(self, line_address: int, touch: bool = True) -> Optional[CacheLine]:
         """Probe; returns the line and updates LRU on hit."""
-        s = self._sets[self._set_index(line_address)]
+        s = self._sets[line_address % self._num_sets]
         line = s.get(line_address)
         if line is None:
             self.misses += 1
@@ -93,36 +116,34 @@ class Cache:
 
     def peek(self, line_address: int) -> Optional[CacheLine]:
         """Probe without updating LRU or hit/miss counters."""
-        return self._sets[self._set_index(line_address)].get(line_address)
+        return self._sets[line_address % self._num_sets].get(line_address)
 
     def insert(self, line_address: int, dirty: bool = False,
                critical_word: int = 0) -> Optional[EvictedLine]:
         """Fill a line; returns the victim if one was evicted."""
-        s = self._sets[self._set_index(line_address)]
+        s = self._sets[line_address % self._num_sets]
         existing = s.get(line_address)
         if existing is not None:
             del s[line_address]
-            existing.dirty = existing.dirty or dirty
+            if dirty:
+                existing.dirty = True
             s[line_address] = existing
             return None
         victim: Optional[EvictedLine] = None
-        if len(s) >= self.config.associativity:
+        if len(s) >= self._assoc:
             lru_addr = next(iter(s))
             lru = s.pop(lru_addr)
             self.evictions += 1
             if lru.dirty:
                 self.dirty_evictions += 1
-            victim = EvictedLine(line_address=lru.line_address,
-                                 dirty=lru.dirty,
-                                 critical_word=lru.critical_word)
-        s[line_address] = CacheLine(line_address=line_address, dirty=dirty,
-                                    critical_word=critical_word)
+            victim = EvictedLine(lru.line_address, lru.dirty,
+                                 lru.critical_word)
+        s[line_address] = CacheLine(line_address, dirty, critical_word)
         return victim
 
     def invalidate(self, line_address: int) -> Optional[CacheLine]:
         """Remove a line (no writeback here; caller decides)."""
-        s = self._sets[self._set_index(line_address)]
-        return s.pop(line_address, None)
+        return self._sets[line_address % self._num_sets].pop(line_address, None)
 
     @property
     def hit_rate(self) -> float:

@@ -55,13 +55,28 @@ class AccessResult:
     PENDING = "pending"  # memory will call back
     STALL = "stall"      # resources full; retry later
 
+    __slots__ = ("status", "complete_time")
+
     def __init__(self, status: str, complete_time: int = 0) -> None:
         self.status = status
         self.complete_time = complete_time
 
 
 class Core:
-    """One trace-driven core attached to an uncore."""
+    """One trace-driven core attached to an uncore.
+
+    Slotted — a run holds only a handful of cores, but the fetch engine
+    reads/writes these fields once per trace record. The core takes
+    ownership of ``trace``: callers pass a materialized per-core list
+    and must not mutate it afterwards (``sim/system.py`` builds one list
+    per core up front, so no defensive copy is taken here).
+    """
+
+    __slots__ = ("core_id", "trace", "uncore", "events", "config",
+                 "on_finish", "pos", "gap_left", "index", "fetch_q",
+                 "bp_index", "bp_time", "unresolved", "arrivals",
+                 "finished", "finish_time", "loads_issued",
+                 "stores_issued", "stall_retries")
 
     def __init__(self, core_id: int, trace: List[TraceRecord],
                  uncore, events: EventQueue,

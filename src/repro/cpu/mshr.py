@@ -15,25 +15,42 @@ only sequences waiters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 Waiter = Callable[[int], None]
 
 
-@dataclass
 class MSHREntry:
-    """One outstanding line fill."""
+    """One outstanding line fill.
 
-    line_address: int
-    critical_word: int                      # word the primary demand needs
-    core_id: int
-    is_prefetch: bool = True                # demoted to False by any demand
-    write_intent: bool = False              # fill will be dirtied (write alloc)
-    primary_waiters: List[Waiter] = field(default_factory=list)
-    fill_waiters: List[Waiter] = field(default_factory=list)
-    critical_time: Optional[int] = None
-    complete_time: Optional[int] = None
+    Slotted: one entry is allocated per LLC miss and its fields are
+    touched on every critical-word and fill callback.
+    """
+
+    __slots__ = ("line_address", "critical_word", "core_id", "is_prefetch",
+                 "write_intent", "primary_waiters", "fill_waiters",
+                 "critical_time", "complete_time")
+
+    def __init__(self, line_address: int, critical_word: int, core_id: int,
+                 is_prefetch: bool = True, write_intent: bool = False,
+                 primary_waiters: Optional[List[Waiter]] = None,
+                 fill_waiters: Optional[List[Waiter]] = None,
+                 critical_time: Optional[int] = None,
+                 complete_time: Optional[int] = None) -> None:
+        self.line_address = line_address
+        self.critical_word = critical_word      # word the primary demand needs
+        self.core_id = core_id
+        self.is_prefetch = is_prefetch          # demoted to False by any demand
+        self.write_intent = write_intent        # fill will be dirtied (write alloc)
+        self.primary_waiters = primary_waiters if primary_waiters is not None else []
+        self.fill_waiters = fill_waiters if fill_waiters is not None else []
+        self.critical_time = critical_time
+        self.complete_time = complete_time
+
+    def __repr__(self) -> str:
+        return (f"MSHREntry(line_address={self.line_address:#x}, "
+                f"critical_word={self.critical_word}, "
+                f"core_id={self.core_id}, is_prefetch={self.is_prefetch})")
 
     def wake_primaries(self, time: int) -> int:
         """Wake all blocked primary waiters; returns how many."""

@@ -49,6 +49,13 @@ class UncoreConfig:
 class Uncore:
     """Shared cache hierarchy in front of a memory system."""
 
+    __slots__ = ("config", "memory", "events", "l1s", "l2", "mshrs",
+                 "prefetchers", "_writeback_overflow",
+                 "_writeback_retry_scheduled", "demand_miss_observer",
+                 "dram_reads", "dram_writes", "prefetch_drops",
+                 "_l1_latency", "_l2_latency", "_path_latency",
+                 "_cw_wakeup")
+
     def __init__(self, num_cores: int, memory: MemorySystem,
                  events: EventQueue,
                  config: UncoreConfig = UncoreConfig()) -> None:
@@ -72,6 +79,11 @@ class Uncore:
         self.dram_reads = 0
         self.dram_writes = 0
         self.prefetch_drops = 0
+        # Per-access latency constants, flattened off the frozen config.
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        self._path_latency = config.dram_path_latency
+        self._cw_wakeup = config.critical_word_wakeup
 
     # ------------------------------------------------------------------
     # Core-facing access path
@@ -90,7 +102,7 @@ class Uncore:
             if is_write:
                 l1_line.dirty = True
             return AccessResult(AccessResult.HIT,
-                                now + self.config.l1.latency)
+                                now + self._l1_latency)
 
         l2_line = self.l2.lookup(line)
         self._train_prefetcher(core_id, line)
@@ -100,7 +112,7 @@ class Uncore:
             self._fill_l1(core_id, line, dirty=False,
                           critical_word=l2_line.critical_word)
             return AccessResult(AccessResult.HIT,
-                                now + self.config.l2.latency)
+                                now + self._l2_latency)
 
         # L2 miss -> MSHR.
         entry = self.mshrs.get(line)
@@ -140,9 +152,9 @@ class Uncore:
         entry = self.mshrs.get(line)
         if entry is None:
             return
-        if not self.config.critical_word_wakeup:
+        if not self._cw_wakeup:
             return  # ablation: wait for the full line
-        time += self.config.dram_path_latency
+        time += self._path_latency
         entry.critical_time = time
         entry.wake_primaries(time)
 
@@ -150,7 +162,7 @@ class Uncore:
         entry = self.mshrs.get(line)
         if entry is None:
             return
-        time += self.config.dram_path_latency
+        time += self._path_latency
         entry.complete_time = time
         released = self.mshrs.release(line, time)
         victim = self.l2.insert(line, dirty=released.write_intent,

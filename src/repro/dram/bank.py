@@ -9,12 +9,19 @@ is actually issued.
 RLDRAM3 banks use ``access()`` instead of the ACT/READ/PRE sequence: a
 single command performs the whole array access and auto-precharges,
 occupying the bank for tRC.
+
+The timing constraints each command consumes (tRCD/tRAS/tRC/tCCD, the
+write-recovery window, the close-page occupancy and data latencies) are
+flattened to integer attributes at construction: the command-application
+methods run on every DRAM transaction, and chasing them through the
+shared :class:`TimingSet` on each call costs more than the state update
+itself. The class is slotted for the same reason — a simulation holds
+hundreds of banks and touches them millions of times.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.dram.timing import TimingSet
@@ -27,26 +34,57 @@ class BankState(enum.Enum):
     ACTIVE = "active"      # a row is open
 
 
-@dataclass
 class Bank:
     """One DRAM bank's timing state."""
 
-    timing: TimingSet
-    index: int = 0
-    state: BankState = BankState.IDLE
-    open_row: Optional[int] = None
-    # Earliest legal issue times (CPU cycles).
-    next_activate: int = 0
-    next_read: int = FAR_FUTURE
-    next_write: int = FAR_FUTURE
-    next_precharge: int = 0
-    # Statistics.
-    activate_count: int = 0
-    read_count: int = 0
-    write_count: int = 0
-    row_hit_count: int = 0
-    last_activate_time: int = field(default=-(1 << 62))
-    last_use: int = 0  # last command touching this bank (idle-close timer)
+    __slots__ = (
+        "timing", "index", "owner", "state", "open_row",
+        "next_activate", "next_read", "next_write", "next_precharge",
+        "activate_count", "read_count", "write_count", "row_hit_count",
+        "last_activate_time", "last_use",
+        # Precomputed per-command timing constraints (CPU cycles).
+        "t_rcd", "t_ras", "t_rc", "t_rp", "t_ccd", "t_rl", "t_wl",
+        "_write_recovery", "_access_occupancy", "_access_read_latency",
+        "_access_write_latency",
+    )
+
+    def __init__(self, timing: TimingSet, index: int = 0) -> None:
+        self.timing = timing
+        self.index = index
+        # Owning rank, set by Rank.__init__: state transitions keep the
+        # rank's open-bank count current so rank-wide "any bank open?"
+        # questions (power management, refresh) are O(1) instead of a
+        # per-call scan. None for standalone banks (unit tests).
+        self.owner = None
+        self.state = BankState.IDLE
+        self.open_row: Optional[int] = None
+        # Earliest legal issue times (CPU cycles).
+        self.next_activate = 0
+        self.next_read = FAR_FUTURE
+        self.next_write = FAR_FUTURE
+        self.next_precharge = 0
+        # Statistics.
+        self.activate_count = 0
+        self.read_count = 0
+        self.write_count = 0
+        self.row_hit_count = 0
+        self.last_activate_time = -(1 << 62)
+        self.last_use = 0  # last command touching this bank (idle-close timer)
+        # Flat timing-constraint table.
+        self.t_rcd = timing.t_rcd
+        self.t_ras = timing.t_ras
+        self.t_rc = timing.t_rc
+        self.t_rp = timing.t_rp
+        self.t_ccd = timing.t_ccd
+        self.t_rl = timing.t_rl
+        self.t_wl = timing.t_wl
+        # Write recovery before precharge: WL + burst + tWTR.
+        self._write_recovery = timing.t_wl + timing.t_burst + timing.t_wtr
+        # Close-page single-command access: the bank is busy for tRC (a
+        # DDR-style part used close-page still pays tRCD + tRP).
+        self._access_occupancy = max(timing.t_rc, timing.t_rcd + timing.t_rp)
+        self._access_read_latency = timing.t_rcd + timing.t_rl
+        self._access_write_latency = timing.t_rcd + timing.t_wl
 
     def is_row_hit(self, row: int) -> bool:
         return self.state is BankState.ACTIVE and self.open_row == row
@@ -71,13 +109,15 @@ class Bank:
             raise RuntimeError(
                 f"bank {self.index}: illegal ACT at {now} "
                 f"(state={self.state}, next_activate={self.next_activate})")
-        t = self.timing
         self.state = BankState.ACTIVE
+        owner = self.owner
+        if owner is not None:
+            owner.open_banks += 1
         self.open_row = row
-        self.next_read = now + t.t_rcd
-        self.next_write = now + t.t_rcd
-        self.next_precharge = now + t.t_ras
-        self.next_activate = now + t.t_rc
+        self.next_read = now + self.t_rcd
+        self.next_write = now + self.t_rcd
+        self.next_precharge = now + self.t_ras
+        self.next_activate = now + self.t_rc
         self.activate_count += 1
         self.last_activate_time = now
         self.last_use = now
@@ -87,30 +127,35 @@ class Bank:
 
     def column_read(self, now: int) -> int:
         """Issue a column read; returns the time data starts on the bus."""
-        t = self.timing
         if self.state is not BankState.ACTIVE or now < self.next_read:
             raise RuntimeError(f"bank {self.index}: illegal READ at {now}")
-        self.next_read = max(self.next_read, now + t.t_ccd)
-        self.next_write = max(self.next_write, now + t.t_ccd)
+        next_col = now + self.t_ccd
+        if next_col > self.next_read:
+            self.next_read = next_col
+        if next_col > self.next_write:
+            self.next_write = next_col
         # Reading delays how soon the row may close (read-to-precharge).
-        self.next_precharge = max(self.next_precharge, now + t.t_ccd)
+        if next_col > self.next_precharge:
+            self.next_precharge = next_col
         self.read_count += 1
         self.last_use = now
-        return now + t.t_rl
+        return now + self.t_rl
 
     def column_write(self, now: int) -> int:
         """Issue a column write; returns the time data starts on the bus."""
-        t = self.timing
         if self.state is not BankState.ACTIVE or now < self.next_write:
             raise RuntimeError(f"bank {self.index}: illegal WRITE at {now}")
-        self.next_read = max(self.next_read, now + t.t_ccd)
-        self.next_write = max(self.next_write, now + t.t_ccd)
-        # Write recovery before precharge: model as WL + burst + tWTR.
-        recovery = t.t_wl + t.t_burst + t.t_wtr
-        self.next_precharge = max(self.next_precharge, now + recovery)
+        next_col = now + self.t_ccd
+        if next_col > self.next_read:
+            self.next_read = next_col
+        if next_col > self.next_write:
+            self.next_write = next_col
+        recovery = now + self._write_recovery
+        if recovery > self.next_precharge:
+            self.next_precharge = recovery
         self.write_count += 1
         self.last_use = now
-        return now + t.t_wl
+        return now + self.t_wl
 
     def can_precharge(self, now: int) -> bool:
         return self.state is BankState.ACTIVE and now >= self.next_precharge
@@ -118,10 +163,14 @@ class Bank:
     def precharge(self, now: int) -> None:
         if not self.can_precharge(now):
             raise RuntimeError(f"bank {self.index}: illegal PRE at {now}")
-        t = self.timing
         self.state = BankState.IDLE
+        owner = self.owner
+        if owner is not None:
+            owner.open_banks -= 1
         self.open_row = None
-        self.next_activate = max(self.next_activate, now + t.t_rp)
+        ready = now + self.t_rp
+        if ready > self.next_activate:
+            self.next_activate = ready
         self.next_read = FAR_FUTURE
         self.next_write = FAR_FUTURE
 
@@ -139,18 +188,17 @@ class Bank:
         tRL/tWL; a DDR-style part used close-page still pays its row
         activation (tRCD) before the column access.
         """
-        t = self.timing
-        if not self.can_access(now):
+        if now < self.next_activate:
             raise RuntimeError(f"bank {self.index}: illegal ACCESS at {now}")
-        self.next_activate = now + max(t.t_rc, t.t_rcd + t.t_rp)
+        self.next_activate = now + self._access_occupancy
         self.activate_count += 1
         self.last_activate_time = now
         self.last_use = now
         if is_write:
             self.write_count += 1
-            return now + t.t_rcd + t.t_wl
+            return now + self._access_write_latency
         self.read_count += 1
-        return now + t.t_rcd + t.t_rl
+        return now + self._access_read_latency
 
     # --- Refresh -------------------------------------------------------
 
@@ -160,7 +208,11 @@ class Bank:
             # Controller must have precharged first; be forgiving in the
             # model and force-close the row.
             self.state = BankState.IDLE
+            owner = self.owner
+            if owner is not None:
+                owner.open_banks -= 1
             self.open_row = None
             self.next_read = FAR_FUTURE
             self.next_write = FAR_FUTURE
-        self.next_activate = max(self.next_activate, until)
+        if until > self.next_activate:
+            self.next_activate = until

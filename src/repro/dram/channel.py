@@ -9,29 +9,54 @@ commands may issue per bus clock. The aggregated RLDRAM channel of the
 paper (Sec 4.2.4) shares one double-data-rate command bus across four
 skinny data sub-channels, i.e. 2 slots per bus cycle feeding 4 data buses
 — the data:command utilisation ratio of 4:1 the paper relies on.
+
+Bus objects sit on the per-command issue path, so they are slotted and
+keep their turnaround/burst/bus-cycle constants as flat integers resolved
+once at construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.dram.request import RequestKind
 from repro.dram.timing import TimingSet
 
 
-@dataclass
 class BusStats:
     """Occupancy accounting for utilisation figures."""
 
-    data_busy_cycles: int = 0
-    cmd_busy_cycles: int = 0
-    reads_transferred: int = 0
-    writes_transferred: int = 0
+    __slots__ = ("data_busy_cycles", "cmd_busy_cycles",
+                 "reads_transferred", "writes_transferred")
+
+    def __init__(self, data_busy_cycles: int = 0, cmd_busy_cycles: int = 0,
+                 reads_transferred: int = 0,
+                 writes_transferred: int = 0) -> None:
+        self.data_busy_cycles = data_busy_cycles
+        self.cmd_busy_cycles = cmd_busy_cycles
+        self.reads_transferred = reads_transferred
+        self.writes_transferred = writes_transferred
+
+    def __repr__(self) -> str:
+        return (f"BusStats(data_busy_cycles={self.data_busy_cycles}, "
+                f"cmd_busy_cycles={self.cmd_busy_cycles}, "
+                f"reads_transferred={self.reads_transferred}, "
+                f"writes_transferred={self.writes_transferred})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BusStats):
+            return NotImplemented
+        return (self.data_busy_cycles == other.data_busy_cycles
+                and self.cmd_busy_cycles == other.cmd_busy_cycles
+                and self.reads_transferred == other.reads_transferred
+                and self.writes_transferred == other.writes_transferred)
 
 
 class DataBus:
     """One data bus; serialises bursts and applies turnaround gaps."""
+
+    __slots__ = ("timing", "free_at", "last_kind", "last_rank", "stats",
+                 "t_burst", "t_rtrs", "t_wtr")
 
     def __init__(self, timing: TimingSet) -> None:
         self.timing = timing
@@ -39,32 +64,41 @@ class DataBus:
         self.last_kind: Optional[RequestKind] = None
         self.last_rank: Optional[int] = None
         self.stats = BusStats()
+        self.t_burst = timing.t_burst
+        self.t_rtrs = timing.t_rtrs
+        self.t_wtr = timing.t_wtr
 
     def earliest_start(self, desired: int, kind: RequestKind, rank: int) -> int:
         """Earliest time a burst of ``kind`` from ``rank`` may start."""
-        start = max(desired, self.free_at)
-        if self.last_kind is None:
+        free_at = self.free_at
+        start = desired if desired > free_at else free_at
+        last_kind = self.last_kind
+        if last_kind is None:
             return start
         gap = 0
         if self.last_rank is not None and rank != self.last_rank:
-            gap = max(gap, self.timing.t_rtrs)
-        if self.last_kind is not RequestKind.READ and kind is RequestKind.READ:
-            # Write-to-read turnaround on the shared bus.
-            gap = max(gap, self.timing.t_wtr)
-        elif self.last_kind is RequestKind.READ and kind is RequestKind.WRITE:
-            gap = max(gap, self.timing.t_rtrs)
-        return max(start, self.free_at + gap)
+            gap = self.t_rtrs
+        if kind is RequestKind.READ:
+            if last_kind is not RequestKind.READ:
+                # Write-to-read turnaround on the shared bus.
+                if self.t_wtr > gap:
+                    gap = self.t_wtr
+        elif last_kind is RequestKind.READ:
+            if self.t_rtrs > gap:
+                gap = self.t_rtrs
+        gapped = free_at + gap
+        return gapped if gapped > start else start
 
     def reserve(self, start: int, kind: RequestKind, rank: int) -> int:
         """Occupy the bus for one burst starting at ``start``; returns end."""
         if start < self.free_at:
             raise RuntimeError(
                 f"data bus conflict: start {start} < free_at {self.free_at}")
-        end = start + self.timing.t_burst
+        end = start + self.t_burst
         self.free_at = end
         self.last_kind = kind
         self.last_rank = rank
-        self.stats.data_busy_cycles += self.timing.t_burst
+        self.stats.data_busy_cycles += self.t_burst
         if kind is RequestKind.READ:
             self.stats.reads_transferred += 1
         else:
@@ -81,6 +115,8 @@ class DataBus:
 class CommandBus:
     """Slotted address/command bus shared by one or more data buses."""
 
+    __slots__ = ("timing", "slots_per_cycle", "_used", "stats", "bus_cycle")
+
     def __init__(self, timing: TimingSet, slots_per_cycle: int = 1) -> None:
         if slots_per_cycle < 1:
             raise ValueError("slots_per_cycle must be >= 1")
@@ -88,20 +124,28 @@ class CommandBus:
         self.slots_per_cycle = slots_per_cycle
         self._used: Dict[int, int] = {}
         self.stats = BusStats()
+        self.bus_cycle = timing.bus_cycle
 
     def _bus_cycle(self, time: int) -> int:
-        return time // self.timing.bus_cycle
+        return time // self.bus_cycle
 
     def earliest_slot(self, desired: int) -> int:
         """Earliest time >= desired with a free command slot."""
-        cyc = self._bus_cycle(desired)
-        while self._used.get(cyc, 0) >= self.slots_per_cycle:
+        bus_cycle = self.bus_cycle
+        cyc = desired // bus_cycle
+        used = self._used
+        if not used:
+            return desired
+        slots = self.slots_per_cycle
+        get = used.get
+        while get(cyc, 0) >= slots:
             cyc += 1
-        return max(desired, cyc * self.timing.bus_cycle)
+        slot_time = cyc * bus_cycle
+        return slot_time if slot_time > desired else desired
 
     def reserve(self, time: int, n_commands: int = 1) -> None:
         """Consume ``n_commands`` slots in the bus cycle containing ``time``."""
-        cyc = self._bus_cycle(time)
+        cyc = time // self.bus_cycle
         used = self._used.get(cyc, 0)
         if used + n_commands > self.slots_per_cycle:
             raise RuntimeError(f"command bus overflow at bus cycle {cyc}")
@@ -120,6 +164,8 @@ class Channel:
     The conventional case is one data bus. The aggregated critical-word
     channel instantiates four data buses behind a dual-pumped command bus.
     """
+
+    __slots__ = ("timing", "index", "data_buses", "cmd_bus")
 
     def __init__(self, timing: TimingSet, num_data_buses: int = 1,
                  cmd_slots_per_cycle: int = 1, index: int = 0) -> None:

@@ -13,6 +13,16 @@ Implements the paper's controller model (Section 5):
 The controller is event-driven: it ticks on bus-cycle boundaries only
 while work is pending, and otherwise sleeps until the next request or
 refresh.
+
+The issue loops are the simulator's inner kernel, so the controller
+follows the same discipline as the bank/rank/bus models: ``__slots__``,
+per-command timing constraints flattened to integer attributes at
+construction (bus-cycle alignment, CAS data latencies, the burst beat),
+a per-rank data-bus table replacing the ``rank_to_bus`` dict lookup,
+and a live count of unpromoted prefetches so the common no-prefetch
+case skips the demand/prefetch partition and the promotion scan
+entirely. All of it is bit-identical to the straightforward form: the
+same commands issue at the same cycles in the same order.
 """
 
 from __future__ import annotations
@@ -27,10 +37,8 @@ from repro.dram.request import MemoryRequest, WORDS_PER_LINE
 from repro.dram.rank import PowerState, Rank
 from repro.dram.scheduler import (
     SchedulingPolicy,
-    priority_key,
     promote_aged_prefetches,
     select_oldest,
-    select_row_hit,
 )
 from repro.dram.timing import TimingSet
 from repro.telemetry.registry import (
@@ -59,20 +67,31 @@ class ControllerConfig:
     refresh_enabled: bool = True
 
 
-@dataclass
 class ControllerStats:
-    """Aggregated latency and throughput accounting."""
+    """Aggregated latency and throughput accounting.
 
-    reads_done: int = 0
-    writes_done: int = 0
-    sum_queue_latency: int = 0
-    sum_core_latency: int = 0
-    sum_total_latency: int = 0
-    sum_critical_latency: int = 0
-    read_queue_occupancy_samples: int = 0
-    sum_read_queue_occupancy: int = 0
-    refreshes: int = 0
-    prefetches_done: int = 0
+    Slotted plain class: the counters are bumped on every completed
+    command, and ``__slots__`` keeps those attribute writes off a dict.
+    """
+
+    __slots__ = (
+        "reads_done", "writes_done", "sum_queue_latency",
+        "sum_core_latency", "sum_total_latency", "sum_critical_latency",
+        "read_queue_occupancy_samples", "sum_read_queue_occupancy",
+        "refreshes", "prefetches_done",
+    )
+
+    def __init__(self) -> None:
+        self.reads_done = 0
+        self.writes_done = 0
+        self.sum_queue_latency = 0
+        self.sum_core_latency = 0
+        self.sum_total_latency = 0
+        self.sum_critical_latency = 0
+        self.read_queue_occupancy_samples = 0
+        self.sum_read_queue_occupancy = 0
+        self.refreshes = 0
+        self.prefetches_done = 0
 
     @property
     def avg_queue_latency(self) -> float:
@@ -94,6 +113,27 @@ class MemoryController:
     the default maps every rank to bus 0 (a conventional channel). The
     aggregated critical-word channel maps rank *i* to bus *i*.
     """
+
+    __slots__ = (
+        "device", "timing", "channel", "events", "config", "name",
+        "ranks", "rank_to_bus", "read_queue", "write_queue", "stats",
+        "_draining_writes", "_tick_event", "_next_refresh",
+        "_refresh_pending", "registry", "tracer",
+        "_h_queue_lat", "_h_critical_lat", "_h_total_lat", "_h_occupancy",
+        "_c_refreshes", "_c_promotions",
+        # Precomputed hot-path constants and fast-path state.
+        "_bus_cycle", "_t_rl", "_t_wl", "_t_rc", "_t_refi", "_t_rfc",
+        "_beat", "_slots_per_cycle", "_cmd_bus", "_cmd_earliest",
+        "_cmd_reserve", "_rank_bus",
+        "_close_page", "_unpromoted_prefetches", "_refresh_due",
+        "_telemetry",
+        # Config knobs flattened to instance attributes: the config is
+        # never mutated after construction, and these are read every tick.
+        "_refresh_enabled", "_aggressive_pd", "_pd_threshold",
+        "_age_threshold", "_fr_fcfs", "_rd_size", "_wr_size",
+        "_high_wm", "_low_wm",
+        "_queue_version", "_partition_version", "_partition",
+    )
 
     def __init__(self, device: DeviceConfig, timing: TimingSet,
                  channel: Channel, num_ranks: int,
@@ -120,7 +160,7 @@ class MemoryController:
         ]
         self._refresh_pending = [False] * num_ranks
         # Telemetry handles default to the shared null sink; an
-        # un-instrumented run pays only the no-op calls.
+        # un-instrumented run pays only a single identity check.
         self.registry: Optional[MetricsRegistry] = None
         self.tracer = NULL_TRACER
         self._h_queue_lat = NULL_HISTOGRAM
@@ -129,6 +169,46 @@ class MemoryController:
         self._h_occupancy = NULL_HISTOGRAM
         self._c_refreshes = NULL_COUNTER
         self._c_promotions = NULL_COUNTER
+        self._telemetry = False
+        # Flat per-command timing constants (CPU cycles).
+        self._bus_cycle = timing.bus_cycle
+        self._t_rl = timing.t_rl
+        self._t_wl = timing.t_wl
+        self._t_rc = timing.t_rc
+        self._t_refi = timing.t_refi
+        self._t_rfc = timing.t_rfc
+        self._beat = max(1, timing.t_burst // WORDS_PER_LINE)
+        self._slots_per_cycle = channel.cmd_bus.slots_per_cycle
+        self._cmd_bus = channel.cmd_bus
+        # Bound methods of the command bus, looked up once: every issue
+        # attempt probes/reserves a command slot.
+        self._cmd_earliest = channel.cmd_bus.earliest_slot
+        self._cmd_reserve = channel.cmd_bus.reserve
+        # Per-rank data bus, resolved once (replaces dict lookup per CAS).
+        self._rank_bus = [channel.data_buses[self.rank_to_bus[i]]
+                          for i in range(num_ranks)]
+        self._close_page = device.page_policy is PagePolicy.CLOSE
+        # Live count of queued unpromoted prefetches: while it is zero the
+        # scheduler skips promotion scans and demand/prefetch partitions.
+        self._unpromoted_prefetches = 0
+        # Read-queue demand/prefetch partition, rebuilt only when the
+        # queue (or a promotion) changes. ``_queue_version`` is bumped by
+        # every mutation; the cached partition carries the version it was
+        # built against.
+        self._queue_version = 0
+        self._partition_version = -1
+        self._partition = None
+        self._refresh_due = min(self._next_refresh) if num_ranks else FAR_FUTURE
+        cfg = self.config
+        self._refresh_enabled = cfg.refresh_enabled
+        self._aggressive_pd = cfg.aggressive_powerdown
+        self._pd_threshold = cfg.powerdown_idle_threshold
+        self._age_threshold = cfg.prefetch_age_threshold
+        self._fr_fcfs = cfg.scheduling is SchedulingPolicy.FR_FCFS
+        self._rd_size = cfg.read_queue_size
+        self._wr_size = cfg.write_queue_size
+        self._high_wm = cfg.high_watermark
+        self._low_wm = cfg.low_watermark
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -147,6 +227,7 @@ class MemoryController:
         self._h_occupancy = registry.histogram(f"{ns}.read_queue_occupancy")
         self._c_refreshes = registry.counter(f"{ns}.refreshes")
         self._c_promotions = registry.counter(f"{ns}.prefetch_promotions")
+        self._telemetry = True
 
     def export_telemetry(self, elapsed_cycles: int) -> None:
         """Publish end-of-run structural counters (per rank, per bank).
@@ -179,18 +260,35 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def enqueue(self, request: MemoryRequest) -> bool:
-        """Accept a request; returns False if the target queue is full."""
-        queue = self.read_queue if request.is_read else self.write_queue
-        limit = (self.config.read_queue_size if request.is_read
-                 else self.config.write_queue_size)
+        """Accept a request; returns False if the target queue is full.
+
+        Queue-order invariant: requests are appended with a monotone
+        ``arrival_time`` and monotone ``request_id`` (ids are allocated
+        at construction and requests are enqueued as they are created),
+        and removal never reorders, so each queue is always sorted by
+        ``(arrival_time, request_id)``. The issue scans rely on this:
+        within one demand class the first ready request in queue order
+        *is* the FR-FCFS winner, with no per-candidate key comparisons.
+        """
+        if request.is_read:
+            queue = self.read_queue
+            limit = self._rd_size
+        else:
+            queue = self.write_queue
+            limit = self._wr_size
         if len(queue) >= limit:
             return False
-        request.arrival_time = self.events.now
+        now = self.events.now
+        request.arrival_time = now
         queue.append(request)
+        if request.is_read:
+            self._queue_version += 1
+        if request.is_prefetch and not request.promoted:
+            self._unpromoted_prefetches += 1
         rank = self.ranks[request.decoded.rank]
         if rank.power_state in (PowerState.POWER_DOWN, PowerState.SELF_REFRESH):
-            rank.wake(self.events.now)
-        self._schedule_tick(self.events.now)
+            rank.wake(now)
+        self._schedule_tick(now)
         return True
 
     @property
@@ -214,70 +312,121 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _schedule_tick(self, when: int) -> None:
-        when = max(when, self.events.now)
+        now = self.events.now
+        if when < now:
+            when = now
         # Align to the next bus-cycle boundary.
-        bus = self.timing.bus_cycle
+        bus = self._bus_cycle
         when = ((when + bus - 1) // bus) * bus
-        if self._tick_event is not None and not self._tick_event.cancelled:
-            if self._tick_event.time <= when:
+        tick = self._tick_event
+        if tick is not None and not tick.cancelled:
+            if tick.time <= when:
                 return
-            self._tick_event.cancel()
+            tick.cancel()
         self._tick_event = self.events.schedule(when, self._tick)
 
     def _tick(self) -> None:
         self._tick_event = None
         now = self.events.now
-        self._service_refresh(now)
-        promoted = promote_aged_prefetches(self.read_queue, now,
-                                           self.config.prefetch_age_threshold)
-        if promoted:
-            self._c_promotions.inc(promoted)
-        self._update_drain_mode()
+        if self._refresh_enabled and now >= self._refresh_due:
+            self._service_refresh(now)
+        if self._unpromoted_prefetches:
+            promoted = promote_aged_prefetches(
+                self.read_queue, now, self._age_threshold)
+            if promoted:
+                self._unpromoted_prefetches -= promoted
+                self._queue_version += 1
+                self._c_promotions.inc(promoted)
+        write_depth = len(self.write_queue)
+        if self._draining_writes:
+            if write_depth <= self._low_wm:
+                self._draining_writes = False
+        elif write_depth >= self._high_wm:
+            self._draining_writes = True
 
-        self.stats.read_queue_occupancy_samples += 1
-        self.stats.sum_read_queue_occupancy += len(self.read_queue)
-        self._h_occupancy.observe(len(self.read_queue))
+        occupancy = len(self.read_queue)
+        stats = self.stats
+        stats.read_queue_occupancy_samples += 1
+        stats.sum_read_queue_occupancy += occupancy
+        if self._telemetry:
+            self._h_occupancy.observe(occupancy)
 
-        issued_any = False
-        for _ in range(self.channel.cmd_bus.slots_per_cycle):
-            if self._issue_one(now):
-                issued_any = True
-            else:
-                break
+        # First slot unrolled: most channels have one command slot per
+        # bus cycle, and the loop stops at the first idle slot anyway.
+        issued_any = self._issue_one(now)
+        if issued_any:
+            for _ in range(self._slots_per_cycle - 1):
+                if not self._issue_one(now):
+                    break
 
-        self._try_powerdown(now)
+        if self._aggressive_pd:
+            self._try_powerdown(now)
 
-        if self.busy():
-            next_time = (now + self.timing.bus_cycle if issued_any
+        if self.read_queue or self.write_queue:
+            next_time = (now + self._bus_cycle if issued_any
                          else self._next_wake_time(now))
-            self._schedule_tick(max(next_time, now + 1))
+            floor = now + 1
+            self._schedule_tick(next_time if next_time > floor else floor)
         else:
             # Idle: wake for the next refresh, and — when the sleep
             # policy is on — once the idle threshold elapses so ranks
             # can actually enter power-down.
             target = FAR_FUTURE
-            if self.config.refresh_enabled:
+            if self._refresh_enabled:
                 target = min(self._next_refresh)
-            if self.config.aggressive_powerdown and any(
+            if self._aggressive_pd and any(
                     r.power_state is PowerState.STANDBY for r in self.ranks):
-                target = min(target,
-                             now + self.config.powerdown_idle_threshold)
+                target = min(target, now + self._pd_threshold)
             if target < FAR_FUTURE:
                 # Never reschedule at the current instant: an overdue
                 # refresh blocked on bank timing must wait for time to
                 # advance.
-                self._schedule_tick(max(target, now + self.timing.bus_cycle))
+                self._schedule_tick(max(target, now + self._bus_cycle))
 
     def _next_wake_time(self, now: int) -> int:
-        """Conservative earliest time any queued command could issue."""
+        """Conservative earliest time any queued command could issue.
+
+        The body of :meth:`_earliest_progress_time` is inlined into the
+        queue scan — this runs for every queued request on every idle
+        tick, and the method-call plus ``max()`` overhead dominates the
+        arithmetic.
+        """
         best = FAR_FUTURE
-        for req in self.read_queue + self.write_queue:
-            t = self._earliest_progress_time(now, req)
-            if t < best:
-                best = t
+        ranks = self.ranks
+        close = self._close_page
+        active = BankState.ACTIVE
+        for queue in (self.read_queue, self.write_queue):
+            for req in queue:
+                d = req.decoded
+                rank = ranks[d.rank]
+                bank = rank.banks[d.bank]
+                if close:
+                    t = bank.next_activate
+                    w = rank.wake_time
+                    if w > t:
+                        t = w
+                    w = rank.next_act_allowed
+                    if w > t:
+                        t = w
+                elif bank.state is active:
+                    if bank.open_row == d.row:
+                        t = bank.next_read if req.is_read else bank.next_write
+                    else:
+                        t = bank.next_precharge
+                    w = rank.wake_time
+                    if w > t:
+                        t = w
+                else:
+                    t = bank.next_activate
+                    w = rank.earliest_activate(now)
+                    if w > t:
+                        t = w
+                if t < best:
+                    best = t
         if best <= now:
-            best = now + self.timing.bus_cycle
-        return min(best, now + self.timing.t_rc)
+            best = now + self._bus_cycle
+        cap = now + self._t_rc
+        return best if best < cap else cap
 
     # ------------------------------------------------------------------
     # Issue logic
@@ -291,18 +440,28 @@ class MemoryController:
         return self.write_queue
 
     def _update_drain_mode(self) -> None:
-        cfg = self.config
+        # Kept as a method for tests; _tick inlines the same logic.
         if self._draining_writes:
-            if len(self.write_queue) <= cfg.low_watermark:
+            if len(self.write_queue) <= self._low_wm:
                 self._draining_writes = False
-        elif len(self.write_queue) >= cfg.high_watermark:
+        elif len(self.write_queue) >= self._high_wm:
             self._draining_writes = True
 
     def _issue_one(self, now: int) -> bool:
-        queue = self._active_queue()
+        # _active_queue, inlined (this runs once or twice per tick).
+        if self._draining_writes:
+            queue = self.write_queue
+        elif self.read_queue:
+            queue = self.read_queue
+        else:
+            queue = self.write_queue
         if not queue:
             return False
-        if self.device.page_policy is PagePolicy.CLOSE:
+        # Every command class needs a command-bus slot at ``now``; when
+        # none is free nothing can issue this tick.
+        if self._cmd_earliest(now) != now:
+            return False
+        if self._close_page:
             if self._issue_close_page(now, queue):
                 return True
         elif self._issue_open_page(now, queue):
@@ -313,7 +472,7 @@ class MemoryController:
         other = self.write_queue if queue is self.read_queue else self.read_queue
         if not other:
             return False
-        if self.device.page_policy is PagePolicy.CLOSE:
+        if self._close_page:
             return self._issue_close_page(now, other)
         return self._issue_open_page(now, other)
 
@@ -322,17 +481,55 @@ class MemoryController:
     def _issue_open_page(self, now: int, queue: List[MemoryRequest]) -> bool:
         # Demand requests strictly outrank prefetches (paper Sec 5):
         # prefetches only consume bandwidth no demand can use this cycle.
-        demands = [r for r in queue
-                   if not r.is_prefetch or r.promoted]
-        prefetches = [r for r in queue
-                      if r.is_prefetch and not r.promoted]
-        for cls in (demands, prefetches):
+        # Prefetches live only in the read queue, and its partition is
+        # cached across the (many) scans between queue mutations.
+        if self._unpromoted_prefetches and queue is self.read_queue:
+            if self._partition_version != self._queue_version:
+                self._partition = (
+                    [r for r in queue if not r.is_prefetch or r.promoted],
+                    [r for r in queue if r.is_prefetch and not r.promoted],
+                )
+                self._partition_version = self._queue_version
+            classes = self._partition
+        else:
+            classes = (queue,)
+        fr_fcfs = self._fr_fcfs
+        ranks = self.ranks
+        rank_bus = self._rank_bus
+        t_rl = self._t_rl
+        t_wl = self._t_wl
+        active = BankState.ACTIVE
+        for cls in classes:
             if not cls:
                 continue
-            if self.config.scheduling is SchedulingPolicy.FR_FCFS:
-                hit = select_row_hit(cls, lambda r: self._cas_ready(now, r))
-                if hit is not None:
-                    self._issue_cas(now, hit, queue)
+            if fr_fcfs:
+                # FR step, inlined: the first column-ready row hit in
+                # queue order. The queue-order invariant (see
+                # :meth:`enqueue`) makes it the best (arrival_time,
+                # request_id) candidate in its demand class, so the scan
+                # stops at the first match.
+                for r in cls:
+                    d = r.decoded
+                    rank = ranks[d.rank]
+                    if now < rank.wake_time:
+                        continue
+                    bank = rank.banks[d.bank]
+                    if bank.state is not active or bank.open_row != d.row:
+                        continue
+                    if r.is_read:
+                        if now < bank.next_read:
+                            continue
+                        t_data = now + t_rl
+                    else:
+                        if now < bank.next_write:
+                            continue
+                        t_data = now + t_wl
+                    # The data bus must be free exactly when this burst
+                    # would start.
+                    bus = rank_bus[d.rank]
+                    if bus.earliest_start(t_data, r.kind, d.rank) != t_data:
+                        continue
+                    self._issue_cas(now, r, queue)
                     return True
             else:
                 # Strict FCFS considers only the oldest request for CAS.
@@ -346,14 +543,39 @@ class MemoryController:
             # Progress PRE/ACT oldest-first *per bank*: younger requests
             # to ready banks must not stall behind one blocked oldest
             # (bank-level parallelism), but within a bank strict age
-            # order prevents precharge ping-pong.
+            # order prevents precharge ping-pong. Queue order is already
+            # (arrival_time, request_id) order, so no sort is needed.
+            # Body of _progress_act_pre inlined: this loop visits every
+            # queued request on every non-issuing tick.
             claimed = set()
-            for req in sorted(cls, key=priority_key):
-                key = (req.decoded.rank, req.decoded.bank)
+            for req in cls:
+                d = req.decoded
+                key = (d.rank, d.bank)
                 if key in claimed:
                     continue
                 claimed.add(key)
-                if self._progress_act_pre(now, req):
+                rank = ranks[d.rank]
+                if now < rank.wake_time:
+                    continue
+                bank = rank.banks[d.bank]
+                if bank.state is active:
+                    if (bank.open_row != d.row
+                            and now >= bank.next_precharge
+                            and self._cmd_earliest(now) == now):
+                        self._cmd_reserve(now)
+                        bank.precharge(now)
+                        rank.touch(now)
+                        if req.first_command_time is None:
+                            req.first_command_time = now
+                        return True
+                elif (now >= bank.next_activate
+                        and rank.earliest_activate(now) <= now
+                        and self._cmd_earliest(now) == now):
+                    self._cmd_reserve(now)
+                    bank.activate(now, d.row)
+                    rank.note_activate(now)
+                    if req.first_command_time is None:
+                        req.first_command_time = now
                     return True
         return False
 
@@ -369,11 +591,11 @@ class MemoryController:
         if now < next_col:
             return False
         # The data bus must be free exactly when this burst would start.
-        t_data = now + (self.timing.t_rl if req.is_read else self.timing.t_wl)
-        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        t_data = now + (self._t_rl if req.is_read else self._t_wl)
+        bus = self._rank_bus[d.rank]
         if bus.earliest_start(t_data, req.kind, d.rank) != t_data:
             return False
-        return self.channel.cmd_bus.earliest_slot(now) == now
+        return self._cmd_earliest(now) == now
 
     def _issue_cas(self, now: int, req: MemoryRequest,
                    queue: List[MemoryRequest]) -> None:
@@ -381,7 +603,7 @@ class MemoryController:
         rank = self.ranks[d.rank]
         bank = rank.banks[d.bank]
         rank.touch(now)
-        self.channel.cmd_bus.reserve(now)
+        self._cmd_reserve(now)
         if req.first_command_time is None:
             # CAS with no prior PRE/ACT for this request: a row-buffer hit.
             bank.row_hit_count += 1
@@ -389,12 +611,16 @@ class MemoryController:
             data_start = bank.column_read(now)
         else:
             data_start = bank.column_write(now)
-        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        bus = self._rank_bus[d.rank]
         end = bus.reserve(data_start, req.kind, d.rank)
         if req.first_command_time is None:
             req.first_command_time = now
         self._complete(req, data_start, end)
+        if req.is_prefetch and not req.promoted:
+            self._unpromoted_prefetches -= 1
         queue.remove(req)
+        if req.is_read:
+            self._queue_version += 1
 
     def _progress_act_pre(self, now: int, req: MemoryRequest) -> bool:
         """Issue the PRE or ACT the oldest request needs, if legal."""
@@ -405,8 +631,8 @@ class MemoryController:
         bank = rank.banks[d.bank]
         if bank.state is BankState.ACTIVE and bank.open_row != d.row:
             if bank.can_precharge(now) and \
-                    self.channel.cmd_bus.earliest_slot(now) == now:
-                self.channel.cmd_bus.reserve(now)
+                    self._cmd_earliest(now) == now:
+                self._cmd_reserve(now)
                 bank.precharge(now)
                 rank.touch(now)
                 if req.first_command_time is None:
@@ -415,8 +641,8 @@ class MemoryController:
             return False
         if bank.state is BankState.IDLE:
             if (bank.can_activate(now) and rank.can_activate(now)
-                    and self.channel.cmd_bus.earliest_slot(now) == now):
-                self.channel.cmd_bus.reserve(now)
+                    and self._cmd_earliest(now) == now):
+                self._cmd_reserve(now)
                 bank.activate(now, d.row)
                 rank.note_activate(now)
                 if req.first_command_time is None:
@@ -428,29 +654,52 @@ class MemoryController:
 
     def _issue_close_page(self, now: int, queue: List[MemoryRequest]) -> bool:
         """Single-command SRAM-style access with auto-precharge."""
+        # Best = lowest (demand-class, arrival_time, request_id). By the
+        # queue-order invariant (see :meth:`enqueue`) the first legal
+        # demand in queue order wins outright; the first legal
+        # unpromoted prefetch is remembered as the fallback.
         best = None
-        best_key = None
+        ranks = self.ranks
+        rank_bus = self._rank_bus
+        t_rl = self._t_rl
+        t_wl = self._t_wl
         for req in queue:
-            if not self._access_ready(now, req):
+            d = req.decoded
+            rank = ranks[d.rank]
+            if now < rank.wake_time or now < rank.next_act_allowed:
                 continue
-            key = priority_key(req)
-            if best_key is None or key < best_key:
-                best, best_key = req, key
+            bank = rank.banks[d.bank]
+            if now < bank.next_activate:
+                continue
+            t_data = now + (t_rl if req.is_read else t_wl)
+            bus = rank_bus[d.rank]
+            if bus.earliest_start(t_data, req.kind, d.rank) != t_data:
+                continue
+            if req.is_prefetch and not req.promoted:
+                if best is None:
+                    best = req
+                continue
+            best = req
+            break
         if best is None:
             return False
         d = best.decoded
-        rank = self.ranks[d.rank]
+        rank = ranks[d.rank]
         bank = rank.banks[d.bank]
         rank.touch(now)
-        self.channel.cmd_bus.reserve(now)
+        self._cmd_reserve(now)
         data_start = bank.access(now, is_write=not best.is_read)
         rank.note_activate(now)
-        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        bus = rank_bus[d.rank]
         end = bus.reserve(data_start, best.kind, d.rank)
         if best.first_command_time is None:
             best.first_command_time = now
         self._complete(best, data_start, end)
+        if best.is_prefetch and not best.promoted:
+            self._unpromoted_prefetches -= 1
         queue.remove(best)
+        if best.is_read:
+            self._queue_version += 1
         return True
 
     def _access_ready(self, now: int, req: MemoryRequest) -> bool:
@@ -461,11 +710,11 @@ class MemoryController:
         bank = rank.banks[d.bank]
         if not bank.can_access(now):
             return False
-        t_data = now + (self.timing.t_rl if req.is_read else self.timing.t_wl)
-        bus = self.channel.data_bus(self.rank_to_bus[d.rank])
+        t_data = now + (self._t_rl if req.is_read else self._t_wl)
+        bus = self._rank_bus[d.rank]
         if bus.earliest_start(t_data, req.kind, d.rank) != t_data:
             return False
-        return self.channel.cmd_bus.earliest_slot(now) == now
+        return self._cmd_earliest(now) == now
 
     # --- completion ------------------------------------------------------
 
@@ -474,26 +723,30 @@ class MemoryController:
         req.completion_time = end
         # Conventional critical-word-first on the bus: the requested word
         # is transferred in the first beat of the (reordered) burst.
-        beat = max(1, self.timing.t_burst // WORDS_PER_LINE)
-        req.critical_word_time = data_start + beat
+        critical_time = data_start + self._beat
+        req.critical_word_time = critical_time
+        stats = self.stats
         if req.is_read:
-            self.stats.reads_done += 1
+            stats.reads_done += 1
             if req.is_prefetch:
-                self.stats.prefetches_done += 1
-            self.stats.sum_queue_latency += req.queue_latency
-            self.stats.sum_core_latency += req.core_latency
-            self.stats.sum_total_latency += req.total_latency
-            self.stats.sum_critical_latency += req.critical_word_time - req.arrival_time
-            self._h_queue_lat.observe(req.queue_latency)
-            self._h_critical_lat.observe(
-                req.critical_word_time - req.arrival_time)
-            self._h_total_lat.observe(req.total_latency)
+                stats.prefetches_done += 1
+            queue_latency = req.first_command_time - req.arrival_time
+            total_latency = critical_time - req.arrival_time
+            stats.sum_queue_latency += queue_latency
+            stats.sum_core_latency += critical_time - req.first_command_time
+            stats.sum_total_latency += total_latency
+            stats.sum_critical_latency += total_latency
+            if self._telemetry:
+                self._h_queue_lat.observe(queue_latency)
+                self._h_critical_lat.observe(total_latency)
+                self._h_total_lat.observe(total_latency)
             if req.on_critical_word is not None:
-                self.events.schedule(req.critical_word_time,
+                self.events.schedule(critical_time,
                                      lambda r=req: r.on_critical_word(r.critical_word_time))
         else:
-            self.stats.writes_done += 1
-        self.tracer.record_request(req, self.name)
+            stats.writes_done += 1
+        if self.tracer is not NULL_TRACER:
+            self.tracer.record_request(req, self.name)
         if req.on_complete is not None:
             self.events.schedule(end, lambda r=req: r.on_complete(r.completion_time))
 
@@ -502,52 +755,81 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _service_refresh(self, now: int) -> None:
-        if not self.config.refresh_enabled:
+        if not self._refresh_enabled:
             return
+        next_refresh = self._next_refresh
         for i, rank in enumerate(self.ranks):
-            if now < self._next_refresh[i]:
+            if now < next_refresh[i]:
                 continue
             self._refresh_pending[i] = True
             # Close any open banks as they become precharge-legal.
-            all_idle = True
-            for bank in rank.banks:
-                if bank.state is BankState.ACTIVE:
-                    if bank.can_precharge(now):
+            if rank.open_banks:
+                for bank in rank.banks:
+                    if (bank.state is BankState.ACTIVE
+                            and bank.can_precharge(now)):
                         bank.precharge(now)
-                    else:
-                        all_idle = False
-            if not all_idle:
-                continue
+                if rank.open_banks:
+                    continue
             if now < rank.wake_time:
                 continue
-            until = now + self.timing.t_rfc
+            until = now + self._t_rfc
             for bank in rank.banks:
                 bank.refresh_block(now, until)
             rank.touch(now)
-            self._next_refresh[i] = max(self._next_refresh[i] + self.timing.t_refi,
-                                        now + self.timing.t_refi // 2)
+            next_refresh[i] = max(next_refresh[i] + self._t_refi,
+                                  now + self._t_refi // 2)
             self._refresh_pending[i] = False
             self.stats.refreshes += 1
             self._c_refreshes.inc()
+        self._refresh_due = min(next_refresh)
 
     def _try_powerdown(self, now: int) -> None:
-        if not self.config.aggressive_powerdown:
+        if not self._aggressive_pd:
             return
-        # Only sleep ranks with no queued work targeting them.
-        busy_ranks = {r.decoded.rank for r in self.read_queue}
-        busy_ranks.update(r.decoded.rank for r in self.write_queue)
-        threshold = self.config.powerdown_idle_threshold
-        for i, rank in enumerate(self.ranks):
+        threshold = self._pd_threshold
+        ranks = self.ranks
+        if len(ranks) == 1:
+            # Single-rank channel (every bulk channel): any queued work
+            # targets this rank, so the busy-set scan reduces to a
+            # queue-emptiness check.
+            rank = ranks[0]
+            state = rank.power_state
+            if (state is PowerState.POWER_DOWN
+                    or state is PowerState.SELF_REFRESH
+                    or self.read_queue or self.write_queue):
+                return
+            if rank.open_banks:
+                for bank in rank.banks:
+                    if (bank.state is BankState.ACTIVE
+                            and now - bank.last_use >= threshold
+                            and bank.can_precharge(now)):
+                        bank.precharge(now)
+            rank.try_power_down(now, threshold)
+            return
+        busy_ranks = None
+        for i, rank in enumerate(ranks):
+            # Already asleep: banks are closed and there is nothing to do.
+            state = rank.power_state
+            if state is PowerState.POWER_DOWN or state is PowerState.SELF_REFRESH:
+                continue
+            # Only sleep ranks with no queued work targeting them; the
+            # busy set is built lazily so a fully sleeping channel pays
+            # nothing per tick.
+            if busy_ranks is None:
+                busy_ranks = {r.decoded.rank for r in self.read_queue}
+                busy_ranks.update(r.decoded.rank for r in self.write_queue)
             if i in busy_ranks:
                 continue
             # Close rows that have idled past the threshold so the rank
             # can reach precharge power-down (open-page otherwise pins
-            # banks active forever).
-            for bank in rank.banks:
-                if (bank.state is BankState.ACTIVE
-                        and now - bank.last_use >= threshold
-                        and bank.can_precharge(now)):
-                    bank.precharge(now)
+            # banks active forever). The open-bank count skips the scan
+            # for ranks whose rows are already all closed.
+            if rank.open_banks:
+                for bank in rank.banks:
+                    if (bank.state is BankState.ACTIVE
+                            and now - bank.last_use >= threshold
+                            and bank.can_precharge(now)):
+                        bank.precharge(now)
             rank.try_power_down(now, threshold)
 
     def _earliest_progress_time(self, now: int, req: MemoryRequest) -> int:
@@ -555,7 +837,7 @@ class MemoryController:
         d = req.decoded
         rank = self.ranks[d.rank]
         bank = rank.banks[d.bank]
-        if self.device.page_policy is PagePolicy.CLOSE:
+        if self._close_page:
             return max(bank.next_activate, rank.wake_time,
                        rank.next_act_allowed)
         if bank.is_row_hit(d.row):

@@ -4,15 +4,18 @@ The rank also owns the power-down state machine used by the aggressive
 sleep-transition policy on the low-power channel (paper Sec 4.1): when a
 rank has been idle for a threshold the controller moves it to precharge
 power-down; wake-up costs ``t_pd_exit``.
+
+Like :class:`~repro.dram.bank.Bank`, the rank is slotted and carries
+its tFAW/tRRD/power-down constraints as flat integers resolved once at
+construction; ``earliest_activate``/``note_activate`` run on every ACT.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.dram.bank import Bank, BankState
+from repro.dram.bank import Bank
 from repro.dram.device import DeviceConfig
 from repro.dram.timing import TimingSet
 
@@ -24,21 +27,45 @@ class PowerState(enum.Enum):
     SELF_REFRESH = "self_refresh"
 
 
-@dataclass
 class PowerStateTally:
     """Cycles spent resident in each power state, for the power model."""
 
-    active: int = 0
-    standby: int = 0
-    power_down: int = 0
-    self_refresh: int = 0
+    __slots__ = ("active", "standby", "power_down", "self_refresh")
+
+    def __init__(self, active: int = 0, standby: int = 0,
+                 power_down: int = 0, self_refresh: int = 0) -> None:
+        self.active = active
+        self.standby = standby
+        self.power_down = power_down
+        self.self_refresh = self_refresh
 
     def total(self) -> int:
         return self.active + self.standby + self.power_down + self.self_refresh
 
+    def __repr__(self) -> str:
+        return (f"PowerStateTally(active={self.active}, "
+                f"standby={self.standby}, power_down={self.power_down}, "
+                f"self_refresh={self.self_refresh})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PowerStateTally):
+            return NotImplemented
+        return (self.active == other.active
+                and self.standby == other.standby
+                and self.power_down == other.power_down
+                and self.self_refresh == other.self_refresh)
+
 
 class Rank:
     """Banks plus rank-wide constraints (tFAW, tRRD, power-down)."""
+
+    __slots__ = (
+        "device", "timing", "index", "banks", "open_banks",
+        "_recent_activates",
+        "next_act_allowed", "power_state", "wake_time",
+        "last_activity_time", "tally", "_tally_mark", "power_down_entries",
+        "t_faw", "t_rrd", "t_pd_exit", "_supports_power_down",
+    )
 
     def __init__(self, device: DeviceConfig, timing: TimingSet,
                  index: int = 0) -> None:
@@ -48,6 +75,11 @@ class Rank:
         self.banks: List[Bank] = [
             Bank(timing=timing, index=b) for b in range(device.num_banks)
         ]
+        # Count of banks with an open row, maintained by the banks
+        # themselves on every ACT/PRE/refresh transition.
+        self.open_banks = 0
+        for bank in self.banks:
+            bank.owner = self
         # Sliding window of recent ACT times for the tFAW constraint.
         self._recent_activates: List[int] = []
         self.next_act_allowed = 0  # tRRD across banks
@@ -57,16 +89,24 @@ class Rank:
         self.tally = PowerStateTally()
         self._tally_mark = 0        # last time the tally was folded up
         self.power_down_entries = 0
+        # Flat rank-wide timing constraints.
+        self.t_faw = timing.t_faw
+        self.t_rrd = timing.t_rrd
+        self.t_pd_exit = timing.t_pd_exit
+        self._supports_power_down = device.supports_power_down
 
     # --- tFAW / tRRD ----------------------------------------------------
 
     def earliest_activate(self, now: int) -> int:
         """Earliest time a new ACT satisfies tFAW and tRRD rank-wide."""
         earliest = max(now, self.next_act_allowed, self.wake_time)
-        t_faw = self.timing.t_faw
-        if t_faw > 0 and len(self._recent_activates) >= 4:
-            fourth_last = self._recent_activates[-4]
-            earliest = max(earliest, fourth_last + t_faw)
+        t_faw = self.t_faw
+        if t_faw > 0:
+            recent = self._recent_activates
+            if len(recent) >= 4:
+                window = recent[-4] + t_faw
+                if window > earliest:
+                    earliest = window
         return earliest
 
     def can_activate(self, now: int) -> bool:
@@ -74,10 +114,11 @@ class Rank:
 
     def note_activate(self, now: int) -> None:
         """Record an ACT issued now (caller already checked legality)."""
-        self._recent_activates.append(now)
-        if len(self._recent_activates) > 8:
-            del self._recent_activates[:-8]
-        self.next_act_allowed = now + self.timing.t_rrd
+        recent = self._recent_activates
+        recent.append(now)
+        if len(recent) > 8:
+            del recent[:-8]
+        self.next_act_allowed = now + self.t_rrd
         self.touch(now)
 
     # --- power-down management ------------------------------------------
@@ -96,18 +137,18 @@ class Rank:
             return now
         self._fold_tally(now)
         self.power_state = PowerState.STANDBY
-        self.wake_time = now + self.timing.t_pd_exit
+        self.wake_time = now + self.t_pd_exit
         return self.wake_time
 
     def try_power_down(self, now: int, idle_threshold: int) -> bool:
         """Enter precharge power-down if idle long enough and all banks closed."""
-        if not self.device.supports_power_down:
+        if not self._supports_power_down:
             return False
         if self.power_state is not PowerState.STANDBY:
             return False
-        if any(b.state is BankState.ACTIVE for b in self.banks):
-            return False
         if now - self.last_activity_time < idle_threshold:
+            return False
+        if self.open_banks:
             return False
         self._fold_tally(now)
         self.power_state = PowerState.POWER_DOWN
@@ -115,7 +156,7 @@ class Rank:
         return True
 
     def all_banks_idle(self) -> bool:
-        return all(b.state is BankState.IDLE for b in self.banks)
+        return self.open_banks == 0
 
     def _fold_tally(self, now: int) -> None:
         span = now - self._tally_mark
@@ -134,9 +175,12 @@ class Rank:
         self._tally_mark = now
 
     def _effective_state(self) -> PowerState:
-        if self.power_state is PowerState.STANDBY and not self.all_banks_idle():
+        # Runs inside every tally fold (i.e. on every command); the
+        # open-bank count makes the any-bank-open question O(1).
+        state = self.power_state
+        if state is PowerState.STANDBY and self.open_banks:
             return PowerState.ACTIVE
-        return self.power_state
+        return state
 
     def finalize_tally(self, now: int) -> PowerStateTally:
         """Fold residency up to ``now`` and return the tally."""

@@ -75,9 +75,11 @@ class MemorySystem(abc.ABC):
     backend_name: Optional[str] = None
 
     # Telemetry handles default to the shared null sink (class
-    # attributes, so subclasses need no __init__ cooperation); an
-    # un-instrumented run pays only no-op calls on the hot path.
+    # attributes, so subclasses need no __init__ cooperation). The
+    # ``_telemetry_attached`` flag lets per-request paths skip even the
+    # no-op calls: an un-instrumented run pays one bool check per probe.
     telemetry_registry: Optional[MetricsRegistry] = None
+    _telemetry_attached = False
     tracer = NULL_TRACER
     _h_critical = NULL_HISTOGRAM     # arrival -> critical word (demands)
     _h_fill = NULL_HISTOGRAM         # arrival -> full line (all reads)
@@ -103,6 +105,7 @@ class MemorySystem(abc.ABC):
         self._c_writes = registry.counter("memsys.writes")
         self._c_fast = registry.counter("memsys.critical_served_fast")
         self._c_slow = registry.counter("memsys.critical_served_slow")
+        self._telemetry_attached = True
         for controller in self.telemetry_controllers():
             controller.attach_telemetry(registry, self.tracer)
 

@@ -85,12 +85,14 @@ class HomogeneousMemory(MemorySystem):
         def critical_cb(t: int) -> None:
             if not is_prefetch:
                 self.stats.sum_critical_latency += t - start
-                self._h_critical.observe(t - start)
+                if self._telemetry_attached:
+                    self._h_critical.observe(t - start)
             on_critical(t)
 
         def complete_cb(t: int) -> None:
             self.stats.sum_fill_latency += t - start
-            self._h_fill.observe(t - start)
+            if self._telemetry_attached:
+                self._h_fill.observe(t - start)
             on_complete(t)
 
         request.on_critical_word = critical_cb
@@ -98,12 +100,14 @@ class HomogeneousMemory(MemorySystem):
         if not controller.enqueue(request):
             return False
         self.stats.reads += 1
-        self._c_reads.inc()
         if not is_prefetch:
             self.stats.demand_reads += 1
             self.stats.critical_served_slow += 1
-            self._c_demand_reads.inc()
-            self._c_slow.inc()
+        if self._telemetry_attached:
+            self._c_reads.inc()
+            if not is_prefetch:
+                self._c_demand_reads.inc()
+                self._c_slow.inc()
         return True
 
     def issue_write(self, line_address: int, critical_word_tag: int,
@@ -116,7 +120,8 @@ class HomogeneousMemory(MemorySystem):
         if not controller.enqueue(request):
             return False
         self.stats.writes += 1
-        self._c_writes.inc()
+        if self._telemetry_attached:
+            self._c_writes.inc()
         return True
 
     # ------------------------------------------------------------------

@@ -95,8 +95,11 @@ class SimulationSystem:
         self.profiler = CriticalityProfiler()
         self.uncore.demand_miss_observer = self.profiler.observe
         self._finished = 0
+        # Traces arrive as materialized per-core lists (make_traces builds
+        # one list per core); Core takes ownership without re-copying.
         self.cores: List[Core] = [
-            Core(i, list(trace), self.uncore, self.events, config.core,
+            Core(i, trace if isinstance(trace, list) else list(trace),
+                 self.uncore, self.events, config.core,
                  on_finish=self._core_finished)
             for i, trace in enumerate(traces)
         ]
@@ -133,10 +136,12 @@ class SimulationSystem:
         for core in self.cores:
             core.start()
         executed = 0
-        while self._finished < len(self.cores):
-            if not self.events.step():
+        num_cores = len(self.cores)
+        step = self.events.step
+        while self._finished < num_cores:
+            if not step():
                 raise RuntimeError(
-                    f"deadlock: {self._finished}/{len(self.cores)} cores "
+                    f"deadlock: {self._finished}/{num_cores} cores "
                     f"finished, event queue empty at t={self.events.now}")
             executed += 1
             if executed > max_events:
@@ -228,6 +233,29 @@ class SimulationSystem:
         return by_family, total
 
 
+# Memoized prewarm images. One benchmark profile is typically simulated
+# across several memory organisations back to back (every figure sweeps
+# memories with the benchmark held fixed); the warm-L2 image depends only
+# on the profile, the core count, and the L2 geometry — not the memory —
+# so after the first run we snapshot the final tag-store contents and
+# replay them into later systems instead of re-deriving ~64k lines
+# through the RNG. Replay is bit-identical by construction: it restores
+# the exact per-set dicts (same recency order, same dirty bits and
+# critical words) and the same eviction-counter deltas the insert
+# sequence would have produced on an empty cache.
+_PREWARM_CACHE: Dict[tuple, tuple] = {}
+_PREWARM_CACHE_MAX = 8
+
+
+def _prewarm_key(profile: BenchmarkProfile, num_cores: int,
+                 num_sets: int, associativity: int) -> tuple:
+    return (profile.name, profile.hot_fraction, profile.hot_lines,
+            profile.footprint_lines, profile.write_fraction,
+            profile.stream_fraction, profile.chase_line_bias,
+            tuple(sorted(profile.chase_word_weights.items())),
+            num_cores, num_sets, associativity)
+
+
 def prewarm_l2(system: SimulationSystem, profile: BenchmarkProfile) -> None:
     """Fill the shared L2 with plausible steady-state contents.
 
@@ -239,27 +267,105 @@ def prewarm_l2(system: SimulationSystem, profile: BenchmarkProfile) -> None:
     word a fetch of that line would have observed.
     """
     import random as _random
-    from repro.dram.request import LINE_BYTES as _LB
+    from repro.cpu.cache import CacheLine
+    from repro.dram.request import LINE_BYTES as _LB, WORDS_PER_LINE
     from repro.workloads.synthetic import (
+        _BUCKETS,
+        _HASH_MASK,
+        _HASH_MULT,
+        _table_cache,
+        _word_lookup_table,
         CORE_ADDRESS_STRIDE,
-        expected_critical_word,
     )
     l2 = system.uncore.l2
-    capacity = l2.config.num_sets * l2.config.associativity
+    num_sets = l2.config.num_sets
+    assoc = l2.config.associativity
+    sets = l2._sets
+    key = _prewarm_key(profile, len(system.cores), num_sets, assoc)
+    cached = _PREWARM_CACHE.get(key)
+    if cached is not None and not any(sets):
+        contents, evictions, dirty_evictions = cached
+        # Rebuild each set as a fresh dict (comprehension order ==
+        # snapshot order == the recency order the inserts produced).
+        l2._sets = [
+            {addr: CacheLine(addr, dirty, word)
+             for addr, dirty, word in entries}
+            for entries in contents
+        ]
+        l2.evictions += evictions
+        l2.dirty_evictions += dirty_evictions
+        return
+    was_empty = not any(sets)
+    evictions_before = l2.evictions
+    dirty_before = l2.dirty_evictions
+    capacity = num_sets * assoc
     per_core = capacity // len(system.cores)
+    lines_per_core = CORE_ADDRESS_STRIDE // _LB
+    hot_fraction = profile.hot_fraction
+    footprint = profile.footprint_lines
+    write_fraction = profile.write_fraction
+    stream_fraction = profile.stream_fraction
+    chase_line_bias = profile.chase_line_bias
+    hot_span = min(profile.hot_lines, footprint)
+    evicted = 0
+    dirty_evicted = 0
+    # Inlined expected_critical_word / preferred_word_for_global_line:
+    # the prewarm loop samples a word per resident line (~64k draws),
+    # and the per-call profile-attribute chasing dominates the hash.
+    table = _table_cache.get(profile.name)
+    if table is None:
+        table = _word_lookup_table(profile.chase_word_weights)
+        _table_cache[profile.name] = table
     for core in system.cores:
         rng = _random.Random(0xC0FFEE ^ core.core_id)
-        base_line = core.core_id * (CORE_ADDRESS_STRIDE // _LB)
-        hot_span = min(profile.hot_lines, profile.footprint_lines)
+        random = rng.random
+        # randrange(n) for positive int n is exactly _randbelow(n); bind
+        # the inner method to skip the argument-normalisation wrapper.
+        # Identical draw sequence either way.
+        randrange = getattr(rng, "_randbelow", rng.randrange)
+        base_line = core.core_id * lines_per_core
         for _ in range(per_core):
             # Hot-region lines are the ones a warm cache would hold.
-            if profile.hot_fraction and rng.random() < 0.6:
-                line = base_line + rng.randrange(hot_span)
+            if hot_fraction and random() < 0.6:
+                line = base_line + randrange(hot_span)
             else:
-                line = base_line + rng.randrange(profile.footprint_lines)
-            word = expected_critical_word(profile, line, rng)
-            l2.insert(line, dirty=rng.random() < profile.write_fraction,
-                      critical_word=word)
+                line = base_line + randrange(footprint)
+            if random() < stream_fraction:
+                word = 0
+            elif random() < chase_line_bias:
+                h = ((line % lines_per_core) * _HASH_MULT) & _HASH_MASK
+                word = table[(h >> 32) % _BUCKETS]
+            else:
+                word = randrange(WORDS_PER_LINE)
+            # Cache.insert, inlined (the victim EvictedLine it would
+            # build is discarded here; only the eviction counters and
+            # the tag-store mutation matter). Same LRU/dirty semantics.
+            dirty = random() < write_fraction
+            s = sets[line % num_sets]
+            existing = s.get(line)
+            if existing is not None:
+                del s[line]
+                if dirty:
+                    existing.dirty = True
+                s[line] = existing
+            else:
+                if len(s) >= assoc:
+                    lru = s.pop(next(iter(s)))
+                    evicted += 1
+                    if lru.dirty:
+                        dirty_evicted += 1
+                s[line] = CacheLine(line, dirty, word)
+    l2.evictions += evicted
+    l2.dirty_evictions += dirty_evicted
+    if was_empty:
+        if len(_PREWARM_CACHE) >= _PREWARM_CACHE_MAX:
+            _PREWARM_CACHE.pop(next(iter(_PREWARM_CACHE)))
+        _PREWARM_CACHE[key] = (
+            tuple(tuple((ln.line_address, ln.dirty, ln.critical_word)
+                        for ln in s.values()) for s in sets),
+            l2.evictions - evictions_before,
+            l2.dirty_evictions - dirty_before,
+        )
 
 
 def run_benchmark(benchmark: str, config: SimConfig,

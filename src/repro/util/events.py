@@ -2,27 +2,37 @@
 
 Events fire in (time, sequence) order so that ties are broken by insertion
 order, which keeps multi-component simulations reproducible run to run.
+
+The heap stores ``(time, seq, event)`` tuples rather than the events
+themselves: ``seq`` is unique, so heap comparisons are resolved by the
+first two integer fields at C level and never reach the event object.
+Combined with ``__slots__`` on :class:`Event`, this keeps the simulator's
+single hottest data structure free of generated-``__lt__`` dispatch and
+per-event ``__dict__`` allocations while preserving the exact firing
+order of the original dataclass implementation (ordered by
+``(time, seq)``, cancellation skipped at pop).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback. Ordered by (time, seq) for determinism."""
+    """A scheduled callback. Fires in (time, seq) order for determinism."""
 
-    time: int
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    # Owning queue while the event is pending; cleared on execution so a
-    # late cancel() cannot corrupt the queue's live-event count.
-    _queue: Optional["EventQueue"] = field(default=None, compare=False,
-                                           repr=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], Any],
+                 _queue: Optional["EventQueue"] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        # Owning queue while the event is pending; cleared on execution so
+        # a late cancel() cannot corrupt the queue's live-event count.
+        self._queue = _queue
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
@@ -33,12 +43,18 @@ class Event:
             self._queue._live -= 1
             self._queue = None
 
+    def __repr__(self) -> str:  # debugging aid; never on the hot path
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time}, seq={self.seq}, {state})"
+
 
 class EventQueue:
     """Deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_seq", "_live", "now")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq = 0
         self._live = 0  # pending non-cancelled events (O(1) __len__)
         self.now = 0
@@ -50,11 +66,11 @@ class EventQueue:
         """Schedule ``callback`` to run at absolute ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time}, now is {self.now}")
-        event = Event(time=time, seq=self._seq, callback=callback,
-                      _queue=self)
-        self._seq += 1
+        seq = self._seq
+        event = Event(time, seq, callback, self)
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def schedule_after(self, delay: int, callback: Callable[[], Any]) -> Event:
@@ -63,19 +79,22 @@ class EventQueue:
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Run the next live event. Returns False if the queue was empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, event = pop(heap)
             if event.cancelled:
                 continue
             self._live -= 1
             event._queue = None
-            self.now = event.time
+            self.now = time
             event.callback()
             return True
         return False
