@@ -20,6 +20,14 @@ used by CI: ``compare_to_baseline`` fails when total throughput drops
 more than ``fail_threshold`` (default 25%) below a committed baseline
 (``benchmarks/perf/BENCH_baseline.json``).
 
+Schema 2 adds provenance and footprint columns: each cell records the
+resolved workload-source id and its content token (so a report pins
+exactly which workload bytes it measured), plus the process peak RSS
+(``ru_maxrss``) after the cell ran — the figure that demonstrates the
+streaming trace pipeline's memory win. ``compare_to_baseline`` only
+reads throughput fields, so schema-1 baselines keep gating schema-2
+reports.
+
 Used by ``repro bench`` (see :mod:`repro.cli`) and by
 ``benchmarks/perf/test_kernel_throughput.py``.
 """
@@ -46,7 +54,16 @@ DEFAULT_READS = 4000
 QUICK_READS = 800
 DEFAULT_FAIL_THRESHOLD = 0.25
 
-SCHEMA = 1
+SCHEMA = 2
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in KiB (0 where resource is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # non-Unix platform
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def run_bench(target_dram_reads: int = DEFAULT_READS,
@@ -59,12 +76,18 @@ def run_bench(target_dram_reads: int = DEFAULT_READS,
     with the best wallclock rate — the standard noise filter for
     throughput numbers on shared machines.
     """
+    from repro.workloads.registry import (
+        resolve_workload,
+        workload_cache_token,
+    )
+
     cells: Dict[str, Dict[str, object]] = {}
     for _ in range(max(1, repeats)):
         for memory in memories:
             for benchmark in benchmarks:
                 cfg = SimConfig(memory=memory,
                                 target_dram_reads=target_dram_reads)
+                workload = resolve_workload(benchmark)
                 wall0 = time.perf_counter()
                 cpu0 = time.process_time()
                 result = run_benchmark(benchmark, cfg)
@@ -74,11 +97,19 @@ def run_bench(target_dram_reads: int = DEFAULT_READS,
                 cell = {
                     "benchmark": benchmark,
                     "memory": memory,
+                    "workload": workload,
+                    "workload_token": workload_cache_token(workload),
                     "dram_reads": reads,
                     "wall_seconds": round(wall, 6),
                     "process_cpu_seconds": round(cpu, 6),
                     "reads_per_second": round(reads / wall, 1) if wall else 0.0,
                     "elapsed_cycles": result.elapsed_cycles,
+                    # ru_maxrss is a process-lifetime high-water mark, so
+                    # per-cell values are cumulative; the interesting
+                    # figure is the report-level peak staying flat as
+                    # read targets grow (streaming traces, no O(trace)
+                    # lists).
+                    "max_rss_kb": _peak_rss_kb(),
                 }
                 key = f"{benchmark}/{memory}"
                 prev = cells.get(key)
@@ -100,6 +131,7 @@ def run_bench(target_dram_reads: int = DEFAULT_READS,
             "process_cpu_seconds": round(total_cpu, 6),
             "reads_per_second": (round(total_reads / total_wall, 1)
                                  if total_wall else 0.0),
+            "max_rss_kb": _peak_rss_kb(),
         },
     }
 
@@ -168,4 +200,7 @@ def format_report(report: Dict[str, object]) -> str:
     total = report["total"]
     lines.append(f"{'TOTAL':<22}{total['reads_per_second']:>12,.0f}"
                  f"{'':>14}{total['dram_reads']:>9,}")
+    rss = total.get("max_rss_kb")
+    if rss:
+        lines.append(f"peak RSS: {rss / 1024:,.1f} MiB")
     return "\n".join(lines)

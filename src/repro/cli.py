@@ -5,8 +5,12 @@ Usage::
 
     repro --version                       # print the package version
     repro list-backends                   # registered memory organisations
+    repro list-workloads                  # registered workload sources
     repro run --memory hmc_cwf            # one backend, whole suite
     repro run --memory ddr3,rl,hmc_cwf --benchmarks leslie3d,mcf --jobs 2
+    repro trace record mcf --out mcf.trace --reads 2000
+    repro trace info mcf.trace            # metadata + per-core stats
+    repro run --workload trace:mcf.trace --memory rl
     repro bench --quick                   # kernel-throughput smoke run
     repro bench --baseline benchmarks/perf/BENCH_baseline.json
     repro profile mcf ddr3 --top 15       # cProfile one simulation cell
@@ -174,7 +178,7 @@ def _telemetry_wanted(args: argparse.Namespace) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# Subcommands: list-backends, run
+# Subcommands: list-backends, list-workloads, run, trace
 # ---------------------------------------------------------------------------
 
 
@@ -218,6 +222,150 @@ def _resolve_memories(names: List[str]) -> List[str]:
     return list(dict.fromkeys(resolved))
 
 
+def _format_workloads(suite: Optional[str] = None) -> str:
+    """The workload registry as a fixed-width listing."""
+    from repro.workloads.registry import list_workloads
+
+    lines = ["registered workloads:"]
+    rows = [(d.name, d.suite or "-", d.kind, d.description)
+            for d in list_workloads()
+            if suite is None or d.suite == suite]
+    header = ("name", "suite", "kind", "description")
+    widths = [max(len(r[i]) for r in rows + [header]) for i in range(3)]
+    for row in [header] + rows:
+        lines.append("  ".join(col.ljust(widths[i]) if i < 3 else col
+                               for i, col in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def _resolve_workloads(names: List[str]) -> List[str]:
+    """Canonicalise CLI workload names; exits with did-you-mean on error."""
+    from repro.workloads.registry import WorkloadError, resolve_workload
+
+    resolved = []
+    for name in names:
+        try:
+            resolved.append(resolve_workload(name))
+        except WorkloadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(_format_workloads(), file=sys.stderr)
+            raise SystemExit(2) from None
+    return list(dict.fromkeys(resolved))
+
+
+def cmd_list_workloads(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro list-workloads",
+        description="List registered workload sources (synthetic profiles "
+                    "plus the trace:<path> replay family).")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the registry as structured JSON")
+    parser.add_argument("--suite", default=None,
+                        help="only workloads of this suite (spec/npb/stream)")
+    args = parser.parse_args(argv)
+    if args.json:
+        import json as _json
+        from repro.workloads.registry import list_workloads
+        print(_json.dumps([{
+            "name": d.name,
+            "aliases": list(d.aliases),
+            "description": d.description,
+            **d.capabilities(),
+        } for d in list_workloads()
+            if args.suite is None or d.suite == args.suite], indent=1))
+    else:
+        print(_format_workloads(args.suite))
+    return 0
+
+
+def cmd_trace(argv: List[str]) -> int:
+    """Trace tooling: record a workload to a file, inspect a file."""
+    if not argv or argv[0] not in ("record", "info"):
+        print("usage: repro trace record <workload> --out FILE "
+              "[--reads N] [--cores N] [--seed N]\n"
+              "       repro trace info FILE", file=sys.stderr)
+        return 2
+    if argv[0] == "record":
+        return _cmd_trace_record(argv[1:])
+    return _cmd_trace_info(argv[1:])
+
+
+def _cmd_trace_record(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace record",
+        description="Materialize a workload's per-core record streams "
+                    "into a repro-trace v1 file for editing and replay "
+                    "(run it back with --workload trace:FILE).")
+    parser.add_argument("workload", help="workload name (see "
+                                         "'repro list-workloads')")
+    parser.add_argument("--out", required=True, metavar="FILE",
+                        help="destination trace file")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="target demand DRAM fetches (default 2000)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="number of core sections (default 8)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="generator seed (default 42)")
+    args = parser.parse_args(argv)
+    workload = _resolve_workloads([args.workload])[0]
+
+    from repro.sim.config import SimConfig
+    from repro.workloads.registry import create_workload
+    from repro.workloads.trace import save_multi_trace
+
+    config = SimConfig(
+        target_dram_reads=args.reads if args.reads is not None else 2000,
+        num_cores=args.cores if args.cores is not None else 8,
+        seed=args.seed if args.seed is not None else 42)
+    source = create_workload(workload)
+    traces = [list(stream) for stream in source.streams(config)]
+    metadata = {"benchmark": source.display_benchmark(),
+                "seed": str(config.seed),
+                "target_dram_reads": str(config.target_dram_reads)}
+    save_multi_trace(traces, args.out, metadata=metadata)
+    total = sum(len(t) for t in traces)
+    print(f"wrote {args.out}: {len(traces)} core(s), {total} records "
+          f"(replay with 'repro run --workload trace:{args.out}')",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_info(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace info",
+        description="Metadata, cache token, and per-core stats of a "
+                    "repro-trace v1 file.")
+    parser.add_argument("path", help="trace file")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.workloads.registry import TraceFileSource, WorkloadError
+    from repro.workloads.trace import trace_stats
+
+    try:
+        source = TraceFileSource(args.path)
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = source.describe()
+    info["per_core"] = [trace_stats(section)
+                        for section in source._traces]
+    if args.json:
+        import json as _json
+        print(_json.dumps(info, indent=1, default=str))
+        return 0
+    print(f"{args.path}: repro-trace v1, {info['cores']} core(s), "
+          f"{info['records']} records, cache token {info['cache_token']}")
+    for key, value in sorted(source.metadata.items()):
+        print(f"  {key} = {value}")
+    for core_id, stats in enumerate(info["per_core"]):
+        print(f"  core {core_id}: {stats['records']} records, "
+              f"{stats['instructions']} instrs, "
+              f"write fraction {stats['write_fraction']:.2f}, "
+              f"mean gap {stats['mean_gap']:.1f}")
+    return 0
+
+
 def cmd_list_backends(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro list-backends",
@@ -252,6 +400,11 @@ def cmd_run(argv: List[str]) -> int:
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset "
                              "(default: whole suite)")
+    parser.add_argument("--workload", default=None,
+                        help="comma-separated workload names — any "
+                             "registry form, including trace:<path> "
+                             "replays (overrides --benchmarks; see "
+                             "'repro list-workloads')")
     parser.add_argument("--reads", type=int, default=None,
                         help="target demand DRAM fetches per run")
     parser.add_argument("--cache", default=None,
@@ -270,8 +423,13 @@ def cmd_run(argv: List[str]) -> int:
     from repro.experiments.specs import RunSpec
 
     config = make_config(args)
+    if args.workload:
+        workloads = _resolve_workloads(
+            [w for w in args.workload.split(",") if w.strip()])
+    else:
+        workloads = list(config.suite())
     specs = [RunSpec(bench, memory)
-             for bench in config.suite() for memory in memories]
+             for bench in workloads for memory in memories]
     executor = ParallelExecutor(config, progress=True)
     try:
         results = executor.run(specs)
@@ -647,6 +805,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if argv and argv[0] == "list-backends":
         return cmd_list_backends(argv[1:])
+    if argv and argv[0] == "list-workloads":
+        return cmd_list_workloads(argv[1:])
+    if argv and argv[0] == "trace":
+        return cmd_trace(argv[1:])
     if argv and argv[0] == "run":
         return cmd_run(argv[1:])
     if argv and argv[0] == "bench":

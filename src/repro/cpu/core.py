@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, Iterable, NamedTuple, Optional
 
 from repro.util.cycles import ceil_div
 from repro.util.events import EventQueue
@@ -66,31 +66,33 @@ class Core:
     """One trace-driven core attached to an uncore.
 
     Slotted — a run holds only a handful of cores, but the fetch engine
-    reads/writes these fields once per trace record. The core takes
-    ownership of ``trace``: callers pass a materialized per-core list
-    and must not mutate it afterwards (``sim/system.py`` builds one list
-    per core up front, so no defensive copy is taken here).
+    reads/writes these fields once per trace record. ``trace`` is any
+    iterable of records — a materialized list or a lazy generator. The
+    core consumes it through a one-record lookahead (``_next``), pulling
+    records only as fetch advances, so a streaming source never holds a
+    whole per-core trace in memory. The core takes ownership of the
+    iterable; callers must not consume or mutate it afterwards.
     """
 
-    __slots__ = ("core_id", "trace", "uncore", "events", "config",
-                 "on_finish", "pos", "gap_left", "index", "fetch_q",
+    __slots__ = ("core_id", "_records", "_next", "uncore", "events",
+                 "config", "on_finish", "gap_left", "index", "fetch_q",
                  "bp_index", "bp_time", "unresolved", "arrivals",
                  "finished", "finish_time", "loads_issued",
                  "stores_issued", "stall_retries")
 
-    def __init__(self, core_id: int, trace: List[TraceRecord],
+    def __init__(self, core_id: int, trace: Iterable[TraceRecord],
                  uncore, events: EventQueue,
                  config: CoreConfig = CoreConfig(),
                  on_finish: Optional[Callable[["Core"], None]] = None) -> None:
         self.core_id = core_id
-        self.trace = trace
+        self._records = iter(trace)
+        self._next = next(self._records, None)  # one-record lookahead
         self.uncore = uncore
         self.events = events
         self.config = config
         self.on_finish = on_finish
         # --- pipeline state ---
-        self.pos = 0                 # next trace record
-        self.gap_left = trace[0].gap if trace else 0
+        self.gap_left = self._next.gap if self._next is not None else 0
         self.index = 0               # global index of next instr to fetch
         self.fetch_q = 0             # fetch clock in quarter cycles
         self.bp_index = -1           # last retirement breakpoint (instr idx)
@@ -146,7 +148,8 @@ class Core:
         if self.finished:
             return
         while True:
-            if self.pos >= len(self.trace):
+            record = self._next
+            if record is None:
                 if not self.unresolved:
                     self._finish()
                 return
@@ -163,16 +166,15 @@ class Core:
             # Fetch the memory instruction itself.
             if self._window_room() <= 0:
                 return
-            record = self.trace[self.pos]
             self.fetch_q += 1
             instr_index = self.index
             self.index += 1
             fetch_time = self.fetch_q // 4
             if not record.is_write:
                 self.unresolved.append(instr_index)
-            self.pos += 1
-            if self.pos < len(self.trace):
-                self.gap_left = self.trace[self.pos].gap
+            self._next = next(self._records, None)
+            if self._next is not None:
+                self.gap_left = self._next.gap
             issue_at = max(self.events.now, fetch_time)
             self.events.schedule(
                 issue_at,

@@ -16,12 +16,16 @@ applied to the resolved :class:`~repro.sim.config.SimConfig`) or as a
 *named runner* — a module-level function registered with
 :func:`register_runner` that a worker process can look up by name.
 
-Cache keys (``v7``) embed a digest of the fully resolved ``SimConfig``
+Cache keys (``v8``) embed a digest of the fully resolved ``SimConfig``
 so any config-knob change — present or future — invalidates stale
 entries instead of silently recalling them. ``v7`` switched the memory
-axis from the closed ``MemoryKind`` enum to registry names: specs carry
-a canonical backend-name *string* (picklable with no enum baggage), and
-keys for the same organisation are stable across processes.
+axis from the closed ``MemoryKind`` enum to registry names; ``v8`` did
+the same for the workload axis: ``benchmark`` is a canonical
+workload-registry name (``mcf``/``synthetic:mcf`` coalesce, and
+``trace:<path>`` names recorded replays), and the key carries the
+workload's *content token* — a profile-parameter digest for synthetic
+sources, the file sha256 for trace files — so editing a trace file or
+recalibrating a profile invalidates its cached results.
 """
 
 from __future__ import annotations
@@ -36,8 +40,9 @@ from repro.experiments.resilience import active_fault_plan
 from repro.memsys.registry import resolve_name
 from repro.sim.config import SimConfig
 from repro.sim.system import SimResult, run_benchmark
+from repro.workloads.registry import resolve_workload, workload_cache_token
 
-CACHE_KEY_VERSION = "v7"
+CACHE_KEY_VERSION = "v8"
 
 # ---------------------------------------------------------------------------
 # Declarative SimConfig overrides (shared with repro.sweep)
@@ -123,10 +128,11 @@ def resolve_runner(name: str) -> Callable[["RunSpec", object], SimResult]:
 class RunSpec:
     """One simulation, described declaratively.
 
-    ``memory`` is a registry backend name (aliases and the deprecated
-    ``MemoryKind`` enum are canonicalised at construction, so
-    ``RunSpec("mcf", "rl") == RunSpec("mcf", MemoryKind.RL)`` and both
-    hash alike as dict keys). ``overrides`` are ``(parameter, value)``
+    ``benchmark`` is a workload-registry name and ``memory`` a memory-
+    backend registry name; both canonicalise at construction (so
+    ``RunSpec("synthetic:mcf", "rl") == RunSpec("mcf", MemoryKind.RL)``
+    and both hash alike as dict keys), and an unknown name on either
+    axis fails here with a did-you-mean, never in a worker later. ``overrides`` are ``(parameter, value)``
     pairs applied to the resolved :class:`SimConfig` through
     :func:`apply_parameter`; ``runner``/``params`` select a registered
     named runner for setups a config transform cannot express (offline
@@ -144,6 +150,8 @@ class RunSpec:
     base: Optional[SimConfig] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmark",
+                           resolve_workload(self.benchmark))
         object.__setattr__(self, "memory", resolve_name(self.memory))
 
     @property
@@ -179,11 +187,19 @@ def config_digest(sim_config: SimConfig) -> str:
 
 
 def spec_cache_key(spec: RunSpec, config) -> str:
-    """Disk-cache key: spec identity + full resolved-config digest."""
+    """Disk-cache key: spec identity + workload content token + full
+    resolved-config digest.
+
+    The workload token pins the workload's *contents* (profile
+    parameters or trace-file bytes), so a recalibrated profile or an
+    edited trace file invalidates its cached results even though the
+    spec's name part is unchanged.
+    """
     params = json.dumps(spec.params, sort_keys=True, default=str)
     return "|".join([
         CACHE_KEY_VERSION, spec.benchmark, spec.memory, spec.variant,
         spec.runner, params, str(config.target_dram_reads), str(config.seed),
+        workload_cache_token(spec.benchmark),
         config_digest(spec.resolved_sim_config(config)),
     ])
 

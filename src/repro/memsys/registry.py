@@ -31,11 +31,11 @@ circular imports.
 
 from __future__ import annotations
 
-import difflib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.memsys.base import MemorySystem, assert_conformant
+from repro.util.suggest import close_matches, did_you_mean
 
 
 class BackendError(ValueError):
@@ -48,10 +48,9 @@ class UnknownBackendError(BackendError):
     def __init__(self, name: str, suggestions: Sequence[str] = ()) -> None:
         self.name = name
         self.suggestions = list(suggestions)
-        message = f"unknown memory backend {name!r}"
-        if self.suggestions:
-            message += f"; did you mean {' or '.join(map(repr, self.suggestions))}?"
-        message += " (run 'repro list-backends' for the full list)"
+        message = (f"unknown memory backend {name!r}"
+                   + did_you_mean(self.suggestions)
+                   + " (run 'repro list-backends' for the full list)")
         super().__init__(message)
 
 
@@ -168,9 +167,7 @@ def resolve_name(name) -> str:
     key = name.strip().lower().replace("-", "_")
     canonical = _ALIASES.get(key)
     if canonical is None:
-        suggestions = difflib.get_close_matches(
-            key, list(_ALIASES), n=3, cutoff=0.5)
-        raise UnknownBackendError(name, suggestions)
+        raise UnknownBackendError(name, close_matches(key, _ALIASES))
     return canonical
 
 

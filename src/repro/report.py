@@ -303,12 +303,17 @@ def main(argv=None) -> int:
         results = executor.run(suite_specs(json_keys, config))
         tables = [ALL_EXPERIMENTS[k](config, results=results)
                   for k in json_keys]
+        from repro.workloads.registry import workload_cache_token
         manifest = run_manifest(
             config={"target_dram_reads": config.target_dram_reads,
                     "benchmarks": list(config.suite()),
                     "jobs": args.jobs},
             seed=config.seed, argv=argv,
-            extra={"cache": executor.cache.stats()})
+            extra={"cache": executor.cache.stats(),
+                   # Pin which workload *contents* produced these
+                   # tables: the same tokens folded into v8 cache keys.
+                   "workloads": {name: workload_cache_token(name)
+                                 for name in config.suite()}})
         with open(args.json, "w") as handle:
             handle.write(tables_to_json(tables, manifest))
         print(f"wrote {args.json}")

@@ -12,8 +12,10 @@ reload and resume them.
 Validation happens here, before anything is queued: memory backends
 resolve against the memsys registry (unknown names answer the
 registry's did-you-mean message), benchmarks against the workload
-profiles, experiments against ``ALL_EXPERIMENTS``, and named runners
-against the runner registry. A bad request is a
+registry (same did-you-mean treatment; ``trace:<path>`` names resolve
+server-side, so the file must exist where the server runs),
+experiments against ``ALL_EXPERIMENTS``, and named runners against the
+runner registry. A bad request is a
 :class:`JobValidationError` (HTTP 400), never a crashed worker later.
 """
 
@@ -121,13 +123,15 @@ def _pairs(raw: object, what: str) -> Tuple[Tuple[str, object], ...]:
 
 
 def _check_benchmarks(names) -> None:
-    from repro.workloads.profiles import benchmark_names
+    """Resolve each name against the workload registry; an unknown
+    workload answers the registry's did-you-mean message as a 400."""
+    from repro.workloads.registry import WorkloadError, resolve_workload
 
-    known = benchmark_names()
-    unknown = [n for n in names if n not in known]
-    if unknown:
-        raise JobValidationError(
-            f"unknown benchmark(s) {unknown}; known: {known}")
+    for name in names:
+        try:
+            resolve_workload(name)
+        except WorkloadError as exc:
+            raise JobValidationError(str(exc)) from None
 
 
 # ---------------------------------------------------------------------------

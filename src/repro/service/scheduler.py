@@ -9,7 +9,7 @@ drains a bounded job queue:
   with :class:`QueueFull` (the HTTP layer maps it to 429 +
   ``Retry-After``), so a traffic burst degrades into client retries
   instead of an unbounded memory footprint.
-* **Coalescing** — every spec slot is keyed by its v7 cache key. A key
+* **Coalescing** — every spec slot is keyed by its v8 cache key. A key
   already wanted by a queued/running job, or already resolved in the
   result cache, is marked coalesced/cached at submit time; the batch
   builder dedupes keys across jobs so N clients asking for the same

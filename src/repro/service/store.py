@@ -5,7 +5,7 @@ The :class:`JobStore` persists one JSON manifest per job (atomically,
 temp file + ``os.replace``, same discipline as
 :class:`~repro.experiments.runner.ResultCache`). Simulation *results*
 are not duplicated here — workers write them into the shared
-``ResultCache`` keyed by v7 spec keys, so a restarted server reloads
+``ResultCache`` keyed by v8 spec keys, so a restarted server reloads
 queued/running manifests, re-enqueues them, and the executor recalls
 every spec that already completed instead of recomputing it. Finished
 jobs keep their result rows and rendered table in the manifest so

@@ -11,7 +11,7 @@ speedup up to a constant factor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.criticality import CriticalityProfiler
 from repro.cpu.core import Core, TraceRecord
@@ -22,7 +22,7 @@ from repro.sim.config import SimConfig, build_memory
 from repro.telemetry.sampler import Sampler
 from repro.telemetry.session import RunTelemetry, active_session
 from repro.util.events import EventQueue
-from repro.workloads.profiles import BenchmarkProfile, profile_for
+from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.synthetic import generate_core_trace
 
 
@@ -78,14 +78,22 @@ class SimulationSystem:
     """Assembled cores + uncore + memory, runnable once."""
 
     def __init__(self, config: SimConfig,
-                 traces: Sequence[List[TraceRecord]],
+                 traces: Sequence[Iterable[TraceRecord]],
                  memory: Optional[MemorySystem] = None,
                  profile: Optional[BenchmarkProfile] = None,
                  telemetry: Optional[RunTelemetry] = None) -> None:
         self.config = config
         self.events = EventQueue()
-        self.memory = memory if memory is not None else build_memory(
-            config, self.events, traces, profile=profile)
+        if memory is not None:
+            self.memory = memory
+        else:
+            # Streams must reach the cores unconsumed: only re-iterable
+            # materialized traces may feed a profiling backend build
+            # (profile-guided backends prefer ``profile`` anyway).
+            build_traces = (traces if all(isinstance(t, (list, tuple))
+                                          for t in traces) else None)
+            self.memory = build_memory(config, self.events, build_traces,
+                                       profile=profile)
         # Registry-built memories arrive pre-checked; hand-assembled
         # ones (tests, ablations) are verified here, once, so the
         # collection path below can call protocol methods directly.
@@ -95,11 +103,11 @@ class SimulationSystem:
         self.profiler = CriticalityProfiler()
         self.uncore.demand_miss_observer = self.profiler.observe
         self._finished = 0
-        # Traces arrive as materialized per-core lists (make_traces builds
-        # one list per core); Core takes ownership without re-copying.
+        # Each per-core trace may be a materialized list or a lazy
+        # stream; Core consumes either through a one-record lookahead
+        # and takes ownership without copying.
         self.cores: List[Core] = [
-            Core(i, trace if isinstance(trace, list) else list(trace),
-                 self.uncore, self.events, config.core,
+            Core(i, trace, self.uncore, self.events, config.core,
                  on_finish=self._core_finished)
             for i, trace in enumerate(traces)
         ]
@@ -369,29 +377,37 @@ def prewarm_l2(system: SimulationSystem, profile: BenchmarkProfile) -> None:
 
 
 def run_benchmark(benchmark: str, config: SimConfig,
-                  traces: Optional[Sequence[List[TraceRecord]]] = None,
+                  traces: Optional[Sequence[Iterable[TraceRecord]]] = None,
                   warm: bool = True,
                   telemetry: Optional[RunTelemetry] = None) -> SimResult:
-    """Generate traces for ``benchmark`` (unless given) and run once.
+    """Resolve ``benchmark`` against the workload registry and run once.
 
-    When a telemetry session is active (see
-    :mod:`repro.telemetry.session`) and no explicit ``telemetry`` is
-    given, the run is automatically registered with the session.
+    ``benchmark`` is any registry-resolvable workload name — a bare
+    profile name (``mcf``), ``synthetic:<profile>``, or
+    ``trace:<path>`` for recorded replays. The source's per-core record
+    streams feed the cores lazily; explicit ``traces`` (tests,
+    ablations) bypass the source. When a telemetry session is active
+    (see :mod:`repro.telemetry.session`) and no explicit ``telemetry``
+    is given, the run is automatically registered with the session.
     """
-    profile = profile_for(benchmark)
+    from repro.workloads.registry import create_workload
+
+    source = create_workload(benchmark)
+    profile = source.profile
     if traces is None:
-        traces = make_traces(profile, config)
+        traces = source.streams(config)
+    display = source.display_benchmark()
     session = None
     if telemetry is None:
         session = active_session()
         if session is not None:
-            telemetry = session.begin_run(benchmark, config.memory)
+            telemetry = session.begin_run(display, config.memory)
     system = SimulationSystem(config, traces, profile=profile,
                               telemetry=telemetry)
-    if warm:
+    if warm and profile is not None:
         prewarm_l2(system, profile)
     result = system.run()
-    result.benchmark = benchmark
+    result.benchmark = display
     if session is not None and telemetry is not None:
         session.end_run(telemetry, summary={
             "elapsed_cycles": result.elapsed_cycles,
@@ -428,16 +444,18 @@ def run_weighted_speedup(benchmark: str, config: SimConfig,
     """
     import dataclasses
     from repro.energy.model import weighted_speedup
+    from repro.workloads.registry import create_workload
 
     shared = run_benchmark(benchmark, config, warm=warm)
-    profile = profile_for(benchmark)
-    per_core = max(1, config.target_dram_reads // config.num_cores)
+    source = create_workload(benchmark)
+    profile = source.profile
     alone_config = dataclasses.replace(config, num_cores=1)
     alone_ipcs = []
-    for core_id in range(config.num_cores):
-        trace = generate_core_trace(profile, core_id, per_core, config.seed)
+    # Re-derive each core's stream from a fresh source view and run it
+    # on a single-core system (the paper's IPC_alone definition).
+    for trace in source.streams(config):
         system = SimulationSystem(alone_config, [trace], profile=profile)
-        if warm:
+        if warm and profile is not None:
             prewarm_l2(system, profile)
         result = system.run()
         alone_ipcs.append(result.per_core_ipc[0])

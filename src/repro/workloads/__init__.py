@@ -20,12 +20,40 @@ from repro.workloads.profiles import (
     benchmark_names,
     profile_for,
 )
-from repro.workloads.synthetic import TraceGenerator, generate_core_trace
-from repro.workloads.trace import load_trace, save_trace, trace_stats
+from repro.workloads.registry import (
+    SyntheticSource,
+    TraceFileSource,
+    UnknownWorkloadError,
+    WorkloadDescriptor,
+    WorkloadError,
+    create_workload,
+    list_workloads,
+    register_workload,
+    resolve_workload,
+    workload_cache_token,
+    workload_names,
+)
+from repro.workloads.synthetic import (
+    TraceGenerator,
+    generate_core_trace,
+    stream_core_trace,
+)
+from repro.workloads.trace import (
+    load_multi_trace,
+    load_trace,
+    save_multi_trace,
+    save_trace,
+    trace_stats,
+)
 
 __all__ = [
     "BenchmarkProfile", "PROFILES", "benchmark_names", "profile_for",
     "SUITE_SPEC", "SUITE_NPB", "SUITE_STREAM",
-    "TraceGenerator", "generate_core_trace",
-    "load_trace", "save_trace", "trace_stats",
+    "TraceGenerator", "generate_core_trace", "stream_core_trace",
+    "load_trace", "save_trace", "load_multi_trace", "save_multi_trace",
+    "trace_stats",
+    "WorkloadDescriptor", "WorkloadError", "UnknownWorkloadError",
+    "SyntheticSource", "TraceFileSource",
+    "register_workload", "resolve_workload", "create_workload",
+    "workload_names", "list_workloads", "workload_cache_token",
 ]

@@ -219,8 +219,11 @@ def profile_for(name: str) -> BenchmarkProfile:
     try:
         return PROFILES[name]
     except KeyError:
+        from repro.util.suggest import close_matches, did_you_mean
         raise KeyError(
-            f"unknown benchmark {name!r}; known: {sorted(PROFILES)}") from None
+            f"unknown benchmark {name!r}"
+            + did_you_mean(close_matches(name, PROFILES))
+            + f"; known: {sorted(PROFILES)}") from None
 
 
 # Benchmarks the paper's Figure 3 singles out for per-line histograms.

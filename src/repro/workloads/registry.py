@@ -1,0 +1,429 @@
+"""String-keyed registry of workload sources.
+
+The paper's methodology replays one workload against every memory
+organisation; PR 3 made the *memory* axis of that cross product a
+formal registry, and this module does the same for the *workload* axis.
+A workload name resolves to a :class:`WorkloadDescriptor`, and
+:func:`create_workload` builds a live :class:`WorkloadSource` — the
+protocol the simulator drives:
+
+* ``source.streams(config)`` — one lazy ``Iterator[TraceRecord]`` per
+  core. Cores pull records as they fetch, so nothing materializes a
+  full per-core list on the hot path;
+* ``source.cache_token()`` — a content digest folded into the ``v8``
+  result-cache key, so cached results invalidate when the workload's
+  *contents* change (a profile edit, a re-recorded trace file) even
+  though its name does not;
+* ``source.profile`` — the :class:`BenchmarkProfile` when one is known
+  (drives L2 prewarming and profile-guided backends), else ``None``;
+* ``source.display_benchmark()`` — the benchmark name reported on the
+  :class:`~repro.sim.system.SimResult`.
+
+Two built-in source families:
+
+* ``synthetic:<profile>`` (or the bare profile name — ``mcf`` and
+  ``synthetic:mcf`` are the same workload and share cache entries)
+  wraps :class:`~repro.workloads.synthetic.TraceGenerator`;
+* ``trace:<path>`` replays a repro-trace v1 file recorded with
+  ``repro trace record`` (or captured elsewhere), with the file's
+  sha256 as its cache token.
+
+Unknown names raise :class:`UnknownWorkloadError` with did-you-mean
+suggestions, mirroring :class:`~repro.memsys.registry.UnknownBackendError`.
+Plugins register with the :func:`register_workload` decorator::
+
+    from repro.workloads.registry import register_workload
+
+    @register_workload("my_workload", suite="custom",
+                       description="records from my generator")
+    def _build_my_workload():
+        return MyWorkloadSource()
+
+Built-in workloads (one per benchmark profile) are loaded lazily on
+first lookup, so importing this module is cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cpu.core import TraceRecord
+from repro.util.suggest import close_matches, did_you_mean
+from repro.workloads.profiles import PROFILES, BenchmarkProfile, profile_for
+
+SYNTHETIC_PREFIX = "synthetic:"
+TRACE_PREFIX = "trace:"
+
+
+class WorkloadError(ValueError):
+    """Base class for workload-registry failures."""
+
+
+class UnknownWorkloadError(WorkloadError, KeyError):
+    """Lookup of a name no workload answers (carries a did-you-mean).
+
+    Doubles as a :class:`KeyError` so callers that treated the old
+    ``PROFILES[name]`` lookup failure as a mapping miss keep working.
+    """
+
+    def __init__(self, name: str, suggestions: Sequence[str] = ()) -> None:
+        self.name = name
+        self.suggestions = list(suggestions)
+        message = (f"unknown workload {name!r}"
+                   + did_you_mean(self.suggestions)
+                   + " (run 'repro list-workloads' for the full list)")
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr-quote
+        return self.args[0]
+
+
+class DuplicateWorkloadError(WorkloadError):
+    """A name or alias was registered twice."""
+
+
+# ---------------------------------------------------------------------------
+# The WorkloadSource protocol
+# ---------------------------------------------------------------------------
+
+#: Methods every workload source must provide; checked (with the
+#: ``name``/``profile`` attributes) before the simulator accepts one.
+PROTOCOL_METHODS = ("streams", "cache_token", "display_benchmark",
+                    "describe")
+PROTOCOL_ATTRS = ("name", "kind", "profile")
+
+
+def conformance_problems(source: object) -> List[str]:
+    """Protocol violations of ``source``, empty when conformant."""
+    problems = []
+    for attr in PROTOCOL_ATTRS:
+        if not hasattr(source, attr):
+            problems.append(f"missing attribute {attr!r}")
+    for method in PROTOCOL_METHODS:
+        if not callable(getattr(source, method, None)):
+            problems.append(f"missing method {method!r}")
+    return problems
+
+
+def assert_source_conformant(source: object) -> None:
+    problems = conformance_problems(source)
+    if problems:
+        raise WorkloadError(
+            f"{type(source).__name__} does not implement the "
+            f"WorkloadSource protocol: {'; '.join(problems)}")
+
+
+class SyntheticSource:
+    """Streams deterministic synthetic traces for one benchmark profile."""
+
+    kind = "synthetic"
+
+    def __init__(self, name: str,
+                 profile: Optional[BenchmarkProfile] = None) -> None:
+        self.name = name
+        self.profile = profile if profile is not None else profile_for(name)
+
+    def streams(self, config) -> List[Iterator[TraceRecord]]:
+        """One lazy per-core record stream, sized like ``make_traces``."""
+        from repro.workloads.synthetic import stream_core_trace
+        per_core = max(1, config.target_dram_reads // config.num_cores)
+        return [stream_core_trace(self.profile, core_id, per_core,
+                                  config.seed)
+                for core_id in range(config.num_cores)]
+
+    def cache_token(self) -> str:
+        return _profile_token(self.profile)
+
+    def display_benchmark(self) -> str:
+        return self.name
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "kind": self.kind,
+                "suite": self.profile.suite,
+                "cache_token": self.cache_token()}
+
+
+class TraceFileSource:
+    """Replays a repro-trace v1 file, one section per core.
+
+    The file parses once at construction; ``streams`` hands out fresh
+    iterators over the parsed sections, so one source can feed several
+    runs. The benchmark named in the file's metadata links back to a
+    profile when possible — that keeps L2 prewarming and
+    profile-guided backends identical to the synthetic run the trace
+    was recorded from, which is what makes replay bit-exact.
+    """
+
+    kind = "trace"
+
+    def __init__(self, path: str) -> None:
+        from repro.workloads.trace import load_multi_trace
+        self.path = str(path)
+        self.name = TRACE_PREFIX + self.path
+        try:
+            self._traces, self.metadata = load_multi_trace(self.path)
+        except OSError as exc:
+            raise WorkloadError(
+                f"cannot read trace file {self.path!r}: {exc}") from None
+        except ValueError as exc:
+            raise WorkloadError(
+                f"bad trace file {self.path!r}: {exc}") from None
+        self.profile: Optional[BenchmarkProfile] = None
+        benchmark = self.metadata.get("benchmark", "")
+        if benchmark and benchmark in PROFILES:
+            self.profile = PROFILES[benchmark]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._traces)
+
+    def streams(self, config) -> List[Iterator[TraceRecord]]:
+        if config.num_cores != len(self._traces):
+            raise WorkloadError(
+                f"trace {self.path!r} holds {len(self._traces)} core "
+                f"section(s) but the run wants num_cores="
+                f"{config.num_cores}; re-record with --cores "
+                f"{config.num_cores} or match num_cores to the capture")
+        return [iter(section) for section in self._traces]
+
+    def cache_token(self) -> str:
+        return _file_token(self.path)
+
+    def display_benchmark(self) -> str:
+        return self.metadata.get("benchmark") or self.name
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "kind": self.kind,
+                "path": self.path, "cores": len(self._traces),
+                "records": sum(len(s) for s in self._traces),
+                "metadata": dict(self.metadata),
+                "cache_token": self.cache_token()}
+
+
+# ---------------------------------------------------------------------------
+# Descriptors and registration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """Everything the harness needs to know about one workload.
+
+    ``factory()`` builds the live :class:`WorkloadSource`; it is
+    ``None`` only for the ``trace:<path>`` family placeholder, whose
+    sources are built from the path at lookup time.
+    """
+
+    name: str
+    factory: Optional[Callable[[], object]]
+    kind: str = "synthetic"
+    suite: str = ""
+    description: str = ""
+    aliases: Tuple[str, ...] = ()
+
+    def capabilities(self) -> Dict[str, object]:
+        """Capability flags as a plain dict (CLI / manifest friendly)."""
+        return {"kind": self.kind, "suite": self.suite,
+                "streaming": True}
+
+
+#: Listing placeholder for the path-parameterised trace family.
+TRACE_FAMILY = WorkloadDescriptor(
+    name="trace:<path>", factory=None, kind="trace",
+    description="replay a repro-trace v1 file "
+                "(record one with 'repro trace record')")
+
+_WORKLOADS: Dict[str, WorkloadDescriptor] = {}
+_ALIASES: Dict[str, str] = {}
+_builtins_loaded = False
+
+
+def register_workload(name: str, *, kind: str = "synthetic",
+                      suite: str = "", description: str = "",
+                      aliases: Sequence[str] = ()):
+    """Decorator registering ``factory`` under ``name`` (plus aliases)."""
+
+    def decorator(factory: Callable[[], object]):
+        _register(WorkloadDescriptor(
+            name=name, factory=factory, kind=kind, suite=suite,
+            description=description, aliases=tuple(aliases)))
+        return factory
+
+    return decorator
+
+
+def _register(descriptor: WorkloadDescriptor) -> None:
+    if descriptor.name.lower().startswith((SYNTHETIC_PREFIX, TRACE_PREFIX)):
+        raise WorkloadError(
+            f"workload name {descriptor.name!r} must not carry a "
+            "source-family prefix")
+    for key in (descriptor.name,) + descriptor.aliases:
+        owner = _ALIASES.get(key)
+        if owner is not None and owner != descriptor.name:
+            raise DuplicateWorkloadError(
+                f"workload name {key!r} already registered by {owner!r}")
+    if descriptor.name in _WORKLOADS:
+        raise DuplicateWorkloadError(
+            f"workload {descriptor.name!r} already registered")
+    _WORKLOADS[descriptor.name] = descriptor
+    _ALIASES[descriptor.name] = descriptor.name
+    for alias in descriptor.aliases:
+        _ALIASES[alias] = descriptor.name
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload (test hygiene for plugin round-trips)."""
+    descriptor = _WORKLOADS.pop(name, None)
+    if descriptor is None:
+        return
+    for key in (descriptor.name,) + descriptor.aliases:
+        if _ALIASES.get(key) == name:
+            del _ALIASES[key]
+
+
+def _profile_description(profile: BenchmarkProfile) -> str:
+    if profile.stream_fraction >= 0.7:
+        shape = "streaming"
+    elif profile.stream_fraction <= 0.3:
+        shape = "pointer-chasing"
+    else:
+        shape = "mixed"
+    return (f"synthetic {shape} profile, "
+            f"{profile.footprint_lines}-line footprint")
+
+
+def ensure_builtin_workloads() -> None:
+    """Register one synthetic workload per benchmark profile (idempotent)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for name, profile in PROFILES.items():
+        # Profile names are case-sensitive (GemsFDTD, dealII); a
+        # lowercase alias keeps CLI lookups forgiving.
+        aliases = (name.lower(),) if name.lower() != name else ()
+        _register(WorkloadDescriptor(
+            name=name,
+            factory=(lambda n=name, p=profile: SyntheticSource(n, p)),
+            kind="synthetic", suite=profile.suite,
+            description=_profile_description(profile), aliases=aliases))
+
+
+# ---------------------------------------------------------------------------
+# Lookup
+# ---------------------------------------------------------------------------
+
+
+def resolve_workload(name) -> str:
+    """Canonical workload name for ``name``.
+
+    Bare profile names and ``synthetic:<profile>`` canonicalise to the
+    profile's registered spelling (so both key the cache identically);
+    ``trace:<path>`` canonicalises to itself after checking the file
+    exists. Raises :class:`UnknownWorkloadError` — with close-match
+    suggestions — when nothing answers the name.
+    """
+    ensure_builtin_workloads()
+    if not isinstance(name, str):
+        raise WorkloadError(
+            f"workload must be a name, got {type(name).__name__}")
+    key = name.strip()
+    if key.lower().startswith(TRACE_PREFIX):
+        path = key[len(TRACE_PREFIX):].strip()
+        if not path:
+            raise WorkloadError("trace workload needs a path: trace:<path>")
+        if not os.path.isfile(path):
+            raise WorkloadError(f"trace file not found: {path!r}")
+        return TRACE_PREFIX + path
+    if key.lower().startswith(SYNTHETIC_PREFIX):
+        key = key[len(SYNTHETIC_PREFIX):].strip()
+    canonical = _ALIASES.get(key) or _ALIASES.get(key.lower())
+    if canonical is None:
+        raise UnknownWorkloadError(name, close_matches(key, _ALIASES))
+    return canonical
+
+
+def get_workload(name) -> WorkloadDescriptor:
+    """The descriptor registered under ``name`` (alias/prefix-aware)."""
+    canonical = resolve_workload(name)
+    if canonical.startswith(TRACE_PREFIX):
+        return dataclasses.replace(TRACE_FAMILY, name=canonical)
+    return _WORKLOADS[canonical]
+
+
+def workload_names() -> List[str]:
+    """Canonical names of every registered workload, sorted."""
+    ensure_builtin_workloads()
+    return sorted(_WORKLOADS)
+
+
+def list_workloads() -> List[WorkloadDescriptor]:
+    """Every registered descriptor, sorted by canonical name, plus the
+    ``trace:<path>`` family placeholder."""
+    ensure_builtin_workloads()
+    return [_WORKLOADS[name] for name in sorted(_WORKLOADS)] + [TRACE_FAMILY]
+
+
+def create_workload(name) -> object:
+    """Build the named workload source and protocol-check the result."""
+    canonical = resolve_workload(name)
+    if canonical.startswith(TRACE_PREFIX):
+        source = TraceFileSource(canonical[len(TRACE_PREFIX):])
+    else:
+        source = _WORKLOADS[canonical].factory()
+    assert_source_conformant(source)
+    return source
+
+
+# ---------------------------------------------------------------------------
+# Cache tokens
+# ---------------------------------------------------------------------------
+
+_PROFILE_TOKENS: Dict[str, str] = {}
+_FILE_TOKENS: Dict[Tuple[str, int, int], str] = {}
+
+
+def _profile_token(profile: BenchmarkProfile) -> str:
+    """Digest of the profile's full parameter set (any calibration edit
+    must invalidate cached results for that benchmark)."""
+    token = _PROFILE_TOKENS.get(profile.name)
+    if token is None:
+        payload = json.dumps(dataclasses.asdict(profile), sort_keys=True,
+                             default=str)
+        token = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        _PROFILE_TOKENS[profile.name] = token
+    return token
+
+
+def _file_token(path: str) -> str:
+    """Digest of the trace file's bytes, memoized on (path, mtime, size)."""
+    try:
+        stat = os.stat(path)
+        key = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+        token = _FILE_TOKENS.get(key)
+        if token is None:
+            with open(path, "rb") as handle:
+                token = hashlib.sha256(handle.read()).hexdigest()[:16]
+            if len(_FILE_TOKENS) > 256:
+                _FILE_TOKENS.clear()
+            _FILE_TOKENS[key] = token
+        return token
+    except OSError as exc:
+        raise WorkloadError(
+            f"cannot read trace file {path!r}: {exc}") from None
+
+
+def workload_cache_token(name) -> str:
+    """The content token folded into ``v8`` cache keys for ``name``."""
+    canonical = resolve_workload(name)
+    if canonical.startswith(TRACE_PREFIX):
+        return _file_token(canonical[len(TRACE_PREFIX):])
+    if canonical in PROFILES:
+        return _profile_token(PROFILES[canonical])
+    # Plugin workloads define their own token.
+    return _WORKLOADS[canonical].factory().cache_token()

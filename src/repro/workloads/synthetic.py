@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Iterator, List, Optional, Tuple
 from collections import deque
 
 from repro.cpu.core import TraceRecord
@@ -175,6 +175,17 @@ class TraceGenerator:
     def records(self, count: int) -> List[TraceRecord]:
         return [self.record() for _ in range(count)]
 
+    def iter_records(self, count: int) -> Iterator[TraceRecord]:
+        """Yield ``count`` records lazily.
+
+        The draw sequence is identical to :meth:`records`: all
+        randomness lives in this generator's private RNG, so pulling
+        records one at a time (interleaved with other cores' pulls)
+        produces byte-identical traces to materializing up front.
+        """
+        for _ in range(count):
+            yield self.record()
+
 
 def preferred_word_for_global_line(profile: BenchmarkProfile,
                                    global_line: int) -> int:
@@ -220,3 +231,12 @@ def generate_core_trace(profile: BenchmarkProfile, core_id: int,
     """Deterministic trace sized for roughly ``target_dram_reads``."""
     generator = TraceGenerator(profile, core_id, seed)
     return generator.records(records_for_reads(profile, target_dram_reads))
+
+
+def stream_core_trace(profile: BenchmarkProfile, core_id: int,
+                      target_dram_reads: int,
+                      seed: int = 42) -> Iterator[TraceRecord]:
+    """Streaming :func:`generate_core_trace`: same records, same order,
+    no up-front list — cores pull records as they fetch."""
+    generator = TraceGenerator(profile, core_id, seed)
+    return generator.iter_records(records_for_reads(profile, target_dram_reads))

@@ -8,8 +8,9 @@ pre-refactor kernel, stored in ``tests/data/golden_kernel.json``.
 
 Also here:
 
-* cache-key stability — the ``v7`` disk-cache key format must survive
-  the refactor unchanged so warm caches keep hitting;
+* cache-key stability — the disk-cache key format must survive
+  refactors unchanged so warm caches keep hitting (``v8`` since the
+  workload-registry refactor added the workload content token);
 * a hypothesis property test that the tuple-heap event queue fires in
   exactly ``(time, seq)`` order with cancellation respected — the
   invariant the golden matrix relies on, checked in isolation over
@@ -73,7 +74,7 @@ def test_golden_covers_all_controller_paths():
 
 
 # ---------------------------------------------------------------------------
-# Cache-key stability: warm v7 caches must keep hitting
+# Cache-key stability: warm v8 caches must keep hitting
 # ---------------------------------------------------------------------------
 
 
@@ -89,18 +90,20 @@ class _KeyConfig:
 
 
 def test_cache_key_version_unchanged():
-    assert CACHE_KEY_VERSION == "v7"
+    assert CACHE_KEY_VERSION == "v8"
 
 
 def test_cache_key_format_unchanged():
     """Key layout: version|benchmark|memory|variant|runner|params|reads|
-    seed|config-digest. A layout change silently invalidates every
-    cached result on disk, so it must be deliberate (bump the version),
-    never a refactor side effect."""
+    seed|workload-token|config-digest. A layout change silently
+    invalidates every cached result on disk, so it must be deliberate
+    (bump the version), never a refactor side effect. v8 was such a
+    deliberate bump: it inserted the workload content token (profile
+    digest / trace-file sha256) before the config digest."""
     key = spec_cache_key(RunSpec("mcf", "rl"), _KeyConfig)
     parts = key.split("|")
-    assert len(parts) == 9
-    assert parts[0] == "v7"
+    assert len(parts) == 10
+    assert parts[0] == "v8"
     assert parts[1] == "mcf"
     assert parts[2] == "rl"
     assert parts[3] == ""          # variant
@@ -108,12 +111,16 @@ def test_cache_key_format_unchanged():
     assert parts[5] == "[]"        # params as sorted JSON
     assert parts[6] == "600"
     assert parts[7] == "12345"
-    digest = parts[8]
+    token = parts[8]               # workload content token
+    assert len(token) == 16
+    int(token, 16)
+    digest = parts[9]
     assert len(digest) == 16
     int(digest, 16)  # hex sha256 prefix
 
     # Deterministic, and sensitive to what it must be sensitive to.
     assert key == spec_cache_key(RunSpec("mcf", "rl"), _KeyConfig)
+    assert key == spec_cache_key(RunSpec("synthetic:mcf", "rl"), _KeyConfig)
     assert key != spec_cache_key(RunSpec("mcf", "ddr3"), _KeyConfig)
     assert key != spec_cache_key(RunSpec("leslie3d", "rl"), _KeyConfig)
 

@@ -70,10 +70,10 @@ class TestRunSpec:
 
 
 class TestCacheKey:
-    def test_v7_versioned(self):
+    def test_v8_versioned(self):
         key = spec_cache_key(RunSpec("mcf", MemoryKind.DDR3),
                              ExperimentConfig())
-        assert key.startswith("v7|")
+        assert key.startswith("v8|")
 
     def test_key_covers_full_sim_config(self):
         # A config-knob change no old-style key field captured (MSHR
@@ -201,8 +201,8 @@ class TestExecutor:
         self.counting_runner(monkeypatch, calls)
         config = ExperimentConfig(target_dram_reads=50,
                                   cache_dir=str(tmp_path))
-        have = RunSpec("a", MemoryKind.DDR3, runner="counting")
-        missing = RunSpec("b", MemoryKind.DDR3, runner="counting")
+        have = RunSpec("mcf", MemoryKind.DDR3, runner="counting")
+        missing = RunSpec("leslie3d", MemoryKind.DDR3, runner="counting")
         results = resolve_results([have, missing], config,
                                   results={have: make_result("a")})
         assert set(results) == {have, missing}

@@ -145,11 +145,11 @@ class TestTinyRuns:
 
 
 class TestCacheKeyVersion:
-    def test_v7_differs_from_v6_format(self):
+    def test_v8_differs_from_older_formats(self):
         config = ExperimentConfig(target_dram_reads=100)
         key = spec_cache_key(RunSpec("mcf", "rl"), config)
-        assert key.startswith("v7|")
-        assert not key.startswith("v6|")
+        assert key.startswith("v8|")
+        assert not key.startswith(("v6|", "v7|"))
 
     def test_stable_across_processes(self):
         config = ExperimentConfig(target_dram_reads=100)

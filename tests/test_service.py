@@ -74,7 +74,7 @@ class TestValidation:
             parse_request({"experiment": "fig99"}, self.config())
 
     def test_unknown_benchmark(self):
-        with pytest.raises(JobValidationError, match="unknown benchmark"):
+        with pytest.raises(JobValidationError, match="unknown workload"):
             parse_request({"specs": [{"benchmark": "quake",
                                       "memory": "ddr3"}]}, self.config())
 

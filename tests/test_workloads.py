@@ -46,6 +46,12 @@ class TestProfiles:
         with pytest.raises(KeyError):
             profile_for("nonexistent")
 
+    def test_unknown_benchmark_suggests_close_match(self):
+        with pytest.raises(KeyError) as excinfo:
+            profile_for("lesliee3d")
+        assert "did you mean" in str(excinfo.value)
+        assert "leslie3d" in str(excinfo.value)
+
     def test_high_bandwidth_group_is_intense(self):
         heavy = [PROFILES[name].mean_gap for name in HIGH_BANDWIDTH]
         light = [p.mean_gap for n, p in PROFILES.items()
