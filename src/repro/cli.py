@@ -8,6 +8,9 @@ Usage::
     repro list-workloads                  # registered workload sources
     repro run --memory hmc_cwf            # one backend, whole suite
     repro run --memory ddr3,rl,hmc_cwf --benchmarks leslie3d,mcf --jobs 2
+    repro run --memory rl --check         # protocol sanitizer on, fail on
+                                          # any DRAM-timing/FSM violation
+    repro resume .ckpts/ck-0123abcd.ckpt  # finish an interrupted run
     repro trace record mcf --out mcf.trace --reads 2000
     repro trace info mcf.trace            # metadata + per-core stats
     repro run --workload trace:mcf.trace --memory rl
@@ -155,10 +158,28 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["keep_going"] = False
     if getattr(args, "degrade_serial", None):
         kwargs["degrade_serial"] = True
+    if getattr(args, "checkpoint_dir", None):
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "checkpoint_every", None) is not None:
+        kwargs["checkpoint_every"] = args.checkpoint_every
     if kwargs:
         from dataclasses import replace
         config = replace(config, **kwargs)
     return config
+
+
+def add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    """Crash-safe checkpointing flags shared by run and serve."""
+    group = parser.add_argument_group("checkpointing")
+    group.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="snapshot each in-flight simulation here so a "
+                            "crashed/killed run's retry resumes instead of "
+                            "starting over (default REPRO_CHECKPOINT_DIR "
+                            "or off)")
+    group.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="READS",
+                       help="snapshot cadence in simulated DRAM reads "
+                            "(default REPRO_CHECKPOINT_EVERY or 1000)")
 
 
 def _report_failures(executor: ParallelExecutor,
@@ -413,6 +434,12 @@ def cmd_run(argv: List[str]) -> int:
                         help="parallel worker processes (default REPRO_JOBS "
                              "or 1; 0 = one per CPU)")
     add_resilience_args(parser)
+    add_checkpoint_args(parser)
+    parser.add_argument("--check", action="store_true",
+                        help="run under the DRAM protocol sanitizer "
+                             "(REPRO_SANITIZE=1): every command stream is "
+                             "replayed against a shadow timing/FSM model; "
+                             "exit 1 on any violation")
     parser.add_argument("--json", action="store_true",
                         help="emit the table as structured JSON")
     args = parser.parse_args(argv)
@@ -430,6 +457,24 @@ def cmd_run(argv: List[str]) -> int:
         workloads = list(config.suite())
     specs = [RunSpec(bench, memory)
              for bench in workloads for memory in memories]
+    check_session: Optional[TelemetrySession] = None
+    if args.check:
+        import os as _os
+
+        from repro.sanitizer import (
+            MODE_OFF,
+            reset_global_report,
+            sanitize_mode,
+        )
+        if sanitize_mode() == MODE_OFF:
+            # The environment variable is the transport that reaches
+            # pool workers too; an explicit strict/collect setting wins.
+            _os.environ["REPRO_SANITIZE"] = "1"
+        reset_global_report()
+        # An active telemetry session forces real (uncached) runs — a
+        # recalled result was never checked — and is how worker-process
+        # sanitizer counters flow back to this process.
+        check_session = activate(TelemetrySession())
     executor = ParallelExecutor(config, progress=True)
     try:
         results = executor.run(specs)
@@ -439,6 +484,9 @@ def cmd_run(argv: List[str]) -> int:
               "renders them as '—' cells instead of aborting",
               file=sys.stderr)
         return 1
+    finally:
+        if check_session is not None:
+            deactivate()
     table = ExperimentTable(
         experiment_id="run",
         title="ad-hoc runs: " + ", ".join(memories),
@@ -458,6 +506,74 @@ def cmd_run(argv: List[str]) -> int:
     else:
         print(table.format())
     _report_failures(executor)
+    if check_session is not None:
+        return _report_sanitizer(check_session)
+    return 0
+
+
+def _report_sanitizer(session: TelemetrySession) -> int:
+    """Summarise ``sanitizer.*`` counters after a --check run."""
+    from repro.sanitizer import global_report
+
+    counters = session.counters
+    runs = counters.get("sanitizer.runs", 0)
+    total = counters.get("sanitizer.violations", 0)
+    print(f"sanitizer: {runs} run(s) checked, {total} violation(s)")
+    for name in sorted(counters):
+        if (name.startswith("sanitizer.")
+                and name not in ("sanitizer.runs", "sanitizer.violations")):
+            print(f"  {name[len('sanitizer.'):]} x{counters[name]}")
+    # Serial runs keep full violation records in-process; show a few.
+    for violation in global_report().violations[:8]:
+        print(f"  {violation.describe()}")
+    return 1 if total else 0
+
+
+def cmd_resume(argv: List[str]) -> int:
+    """Finish an interrupted simulation from its checkpoint file."""
+    parser = argparse.ArgumentParser(
+        prog="repro resume",
+        description="Load a crash-safe checkpoint (see --checkpoint-dir / "
+                    "REPRO_CHECKPOINT_DIR) and run the simulation to "
+                    "completion; the result is byte-identical to an "
+                    "uninterrupted run. The checkpoint file is deleted "
+                    "on success.")
+    parser.add_argument("checkpoint", help="checkpoint file (ck-*.ckpt)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the checkpoint file after finishing")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full SimResult as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.sim.checkpoint import (
+        CheckpointError,
+        delete_checkpoint,
+        load_checkpoint,
+    )
+
+    try:
+        system, executed, header = load_checkpoint(args.checkpoint)
+    except (CheckpointError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    benchmark = header.get("benchmark", "?")
+    print(f"resuming {benchmark} from {args.checkpoint}: "
+          f"{header.get('reads', 0)} reads done, {executed} events",
+          file=sys.stderr)
+    result = system.resume_run(executed=executed)
+    result.benchmark = benchmark
+    if not args.keep:
+        delete_checkpoint(args.checkpoint)
+    if args.json:
+        import dataclasses as _dataclasses
+        import json as _json
+        print(_json.dumps(_dataclasses.asdict(result), indent=1))
+    else:
+        print(f"{result.benchmark}: {result.dram_reads} reads in "
+              f"{result.elapsed_cycles} cycles, "
+              f"throughput={result.throughput:.3f}, "
+              f"critical={result.avg_critical_latency:.1f}, "
+              f"fill={result.avg_fill_latency:.1f}")
     return 0
 
 
@@ -612,6 +728,7 @@ def cmd_serve(argv: List[str]) -> int:
     parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
                         help="per-spec wall-clock deadline (needs "
                              "--jobs >= 2)")
+    add_checkpoint_args(parser)
     parser.add_argument("--no-recover", action="store_true",
                         help="do not re-enqueue unfinished jobs from the "
                              "state directory at startup")
@@ -644,9 +761,9 @@ def cmd_serve(argv: List[str]) -> int:
           f"({scheduler.executor.jobs} worker(s), queue limit "
           f"{args.queue_limit}, {recovered} job(s) recovered); "
           "SIGTERM drains gracefully", file=sys.stderr, flush=True)
-    serve_until_signal(server, scheduler)
+    code = serve_until_signal(server, scheduler)
     print("repro serve: drained and stopped", file=sys.stderr)
-    return 0
+    return code
 
 
 def _submit_request(args: argparse.Namespace) -> dict:
@@ -811,6 +928,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace(argv[1:])
     if argv and argv[0] == "run":
         return cmd_run(argv[1:])
+    if argv and argv[0] == "resume":
+        return cmd_resume(argv[1:])
     if argv and argv[0] == "bench":
         return cmd_bench(argv[1:])
     if argv and argv[0] == "profile":

@@ -128,6 +128,82 @@ class CWFConfig:
 _RANDOM_HASH_MULT = 0x9E3779B97F4A7C15
 
 
+class _CWFReadTxn:
+    """Per-read transaction joining the fast and bulk halves of a line.
+
+    Slotted class with bound-method callbacks instead of closures so an
+    in-flight split read survives pickling when the simulator is
+    checkpointed mid-run. Semantics are unchanged: the CPU wakes once
+    (fast part if it covers the word and passes parity, else the bulk
+    critical burst, else with the full line on a parity deferral), and
+    the fill completes when both parts have arrived.
+    """
+
+    __slots__ = ("memory", "start", "covers", "parity_ok", "is_prefetch",
+                 "on_critical", "on_complete", "fast_end", "bulk_end",
+                 "woken")
+
+    def __init__(self, memory: "CriticalWordMemory", start: int,
+                 covers: bool, parity_ok: bool, is_prefetch: bool,
+                 on_critical: Callable[[int], None],
+                 on_complete: Callable[[int], None]) -> None:
+        self.memory = memory
+        self.start = start
+        self.covers = covers
+        self.parity_ok = parity_ok
+        self.is_prefetch = is_prefetch
+        self.on_critical = on_critical
+        self.on_complete = on_complete
+        self.fast_end: Optional[int] = None
+        self.bulk_end: Optional[int] = None
+        self.woken = False
+
+    def _wake(self, t: int, from_fast: bool) -> None:
+        if self.woken:
+            return
+        self.woken = True
+        memory = self.memory
+        if not self.is_prefetch:
+            memory.stats.sum_critical_latency += t - self.start
+            if from_fast:
+                memory.stats.critical_served_fast += 1
+            else:
+                memory.stats.critical_served_slow += 1
+            if memory._telemetry_attached:
+                memory._h_critical.observe(t - self.start)
+                (memory._c_fast if from_fast else memory._c_slow).inc()
+        self.on_critical(t)
+
+    def _check_complete(self) -> None:
+        fast_end = self.fast_end
+        bulk_end = self.bulk_end
+        if fast_end is None or bulk_end is None:
+            return
+        t = fast_end if fast_end >= bulk_end else bulk_end
+        if not self.woken:
+            # Parity deferral: data released only with the full line.
+            self._wake(t, from_fast=False)
+        memory = self.memory
+        memory.stats.sum_fill_latency += t - self.start
+        if memory._telemetry_attached:
+            memory._h_fill.observe(t - self.start)
+        self.on_complete(t)
+
+    def fast_done(self, t: int) -> None:
+        self.fast_end = t
+        if self.covers and self.parity_ok:
+            self._wake(t, from_fast=True)
+        self._check_complete()
+
+    def bulk_critical(self, t: int) -> None:
+        if not self.covers:
+            self._wake(t, from_fast=False)
+
+    def bulk_done(self, t: int) -> None:
+        self.bulk_end = t
+        self._check_complete()
+
+
 class CriticalWordMemory(MemorySystem):
     """The heterogeneous CWF main memory."""
 
@@ -291,63 +367,18 @@ class CriticalWordMemory(MemorySystem):
         parity_ok = (not covers) or self.fault_injector.fast_part_ok()
         if covers and not parity_ok:
             self.parity_deferrals += 1
-        # Per-read transaction state shared by the closures below:
-        # [fast_end, bulk_end, woken]. A list is cheaper to allocate and
-        # index than a dict, and this runs once per LLC miss.
-        state = [None, None, False]
-
-        def wake(t: int, from_fast: bool) -> None:
-            if state[2]:
-                return
-            state[2] = True
-            if not is_prefetch:
-                self.stats.sum_critical_latency += t - start
-                if from_fast:
-                    self.stats.critical_served_fast += 1
-                else:
-                    self.stats.critical_served_slow += 1
-                if self._telemetry_attached:
-                    self._h_critical.observe(t - start)
-                    (self._c_fast if from_fast else self._c_slow).inc()
-            on_critical(t)
-
-        def check_complete() -> None:
-            fast_end = state[0]
-            bulk_end = state[1]
-            if fast_end is None or bulk_end is None:
-                return
-            t = fast_end if fast_end >= bulk_end else bulk_end
-            if not state[2]:
-                # Parity deferral: data released only with the full line.
-                wake(t, from_fast=False)
-            self.stats.sum_fill_latency += t - start
-            if self._telemetry_attached:
-                self._h_fill.observe(t - start)
-            on_complete(t)
-
-        def fast_done(t: int) -> None:
-            state[0] = t
-            if covers and parity_ok:
-                wake(t, from_fast=True)
-            check_complete()
-
-        def bulk_critical(t: int) -> None:
-            if not covers:
-                wake(t, from_fast=False)
-
-        def bulk_done(t: int) -> None:
-            state[1] = t
-            check_complete()
+        txn = _CWFReadTxn(self, start, covers, parity_ok, is_prefetch,
+                          on_critical, on_complete)
 
         fast_req = MemoryRequest(
             kind=RequestKind.READ, address=address, critical_word=0,
             is_prefetch=is_prefetch, core_id=core_id, decoded=fast_decoded,
-            on_complete=fast_done)
+            on_complete=txn.fast_done)
         bulk_req = MemoryRequest(
             kind=RequestKind.READ, address=address,
             critical_word=critical_word, is_prefetch=is_prefetch,
             core_id=core_id, decoded=bulk_decoded,
-            on_critical_word=bulk_critical, on_complete=bulk_done)
+            on_critical_word=txn.bulk_critical, on_complete=txn.bulk_done)
         # Both queues were checked above; enqueue cannot fail here.
         if not fast_mc.enqueue(fast_req) or not bulk_mc.enqueue(bulk_req):
             raise RuntimeError("CWF enqueue failed after capacity check")

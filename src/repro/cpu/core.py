@@ -62,6 +62,40 @@ class AccessResult:
         self.complete_time = complete_time
 
 
+class _IssueEvent:
+    """Deferred ``core._issue(record, index)`` call.
+
+    A plain slotted callable instead of a closure so a scheduled (or
+    retry-pending) issue survives pickling when the simulator is
+    checkpointed mid-run.
+    """
+
+    __slots__ = ("core", "record", "index")
+
+    def __init__(self, core: "Core", record: "TraceRecord",
+                 index: int) -> None:
+        self.core = core
+        self.record = record
+        self.index = index
+
+    def __call__(self) -> None:
+        self.core._issue(self.record, self.index)
+
+
+class _LoadWake:
+    """Wake callback handed to the uncore for a pending load."""
+
+    __slots__ = ("core", "index")
+
+    def __init__(self, core: "Core", index: int) -> None:
+        self.core = core
+        self.index = index
+
+    def __call__(self, time: int) -> None:
+        core = self.core
+        core._resolve(self.index, time + core.config.use_latency)
+
+
 class Core:
     """One trace-driven core attached to an uncore.
 
@@ -176,9 +210,8 @@ class Core:
             if self._next is not None:
                 self.gap_left = self._next.gap
             issue_at = max(self.events.now, fetch_time)
-            self.events.schedule(
-                issue_at,
-                lambda r=record, i=instr_index: self._issue(r, i))
+            self.events.schedule(issue_at,
+                                 _IssueEvent(self, record, instr_index))
 
     # ------------------------------------------------------------------
     # Memory interface
@@ -192,18 +225,18 @@ class Core:
             if result.status == AccessResult.STALL:
                 self.stall_retries += 1
                 self.events.schedule(now + self.config.retry_interval,
-                                     lambda: self._issue(record, instr_index))
+                                     _IssueEvent(self, record, instr_index))
                 return
             self.stores_issued += 1
             return
         # Load: completion resolves the instruction.
-        wake = lambda t, i=instr_index: self._resolve(i, t + self.config.use_latency)
+        wake = _LoadWake(self, instr_index)
         result = self.uncore.access(self.core_id, False, record.address,
                                     wake=wake)
         if result.status == AccessResult.STALL:
             self.stall_retries += 1
             self.events.schedule(now + self.config.retry_interval,
-                                 lambda: self._issue(record, instr_index))
+                                 _IssueEvent(self, record, instr_index))
             return
         self.loads_issued += 1
         if result.status == AccessResult.HIT:

@@ -31,6 +31,32 @@ from repro.util.events import EventQueue
 WakeFn = Callable[[int], None]
 
 
+class _LineCritical:
+    """Critical-word callback for a line fill (picklable, not a closure)."""
+
+    __slots__ = ("uncore", "line")
+
+    def __init__(self, uncore: "Uncore", line: int) -> None:
+        self.uncore = uncore
+        self.line = line
+
+    def __call__(self, time: int) -> None:
+        self.uncore._on_critical(self.line, time)
+
+
+class _LineComplete:
+    """Fill-complete callback for a line fill (picklable, not a closure)."""
+
+    __slots__ = ("uncore", "line")
+
+    def __init__(self, uncore: "Uncore", line: int) -> None:
+        self.uncore = uncore
+        self.line = line
+
+    def __call__(self, time: int) -> None:
+        self.uncore._on_complete(self.line, time)
+
+
 @dataclass(frozen=True)
 class UncoreConfig:
     l1: CacheConfig = L1_CONFIG
@@ -54,7 +80,7 @@ class Uncore:
                  "_writeback_retry_scheduled", "demand_miss_observer",
                  "dram_reads", "dram_writes", "prefetch_drops",
                  "_l1_latency", "_l2_latency", "_path_latency",
-                 "_cw_wakeup")
+                 "_cw_wakeup", "_san")
 
     def __init__(self, num_cores: int, memory: MemorySystem,
                  events: EventQueue,
@@ -84,6 +110,9 @@ class Uncore:
         self._l2_latency = config.l2.latency
         self._path_latency = config.dram_path_latency
         self._cw_wakeup = config.critical_word_wakeup
+        # Optional protocol sanitizer (read-conservation invariant);
+        # attached by SimulationSystem when REPRO_SANITIZE is active.
+        self._san = None
 
     # ------------------------------------------------------------------
     # Core-facing access path
@@ -133,13 +162,15 @@ class Uncore:
         accepted = self.memory.issue_read(
             line_address=line, critical_word=word, core_id=core_id,
             is_prefetch=False,
-            on_critical=lambda t, ln=line: self._on_critical(ln, t),
-            on_complete=lambda t, ln=line: self._on_complete(ln, t))
+            on_critical=_LineCritical(self, line),
+            on_complete=_LineComplete(self, line))
         if not accepted:
             # Roll the allocation back; the core will retry.
             self.mshrs.deallocate(line)
             return AccessResult(AccessResult.STALL)
         self.dram_reads += 1
+        if self._san is not None:
+            self._san.note_read_issued(line, self.events.now)
         if self.demand_miss_observer is not None:
             self.demand_miss_observer(core_id, line, word)
         return AccessResult(AccessResult.PENDING)
@@ -165,6 +196,8 @@ class Uncore:
         time += self._path_latency
         entry.complete_time = time
         released = self.mshrs.release(line, time)
+        if self._san is not None:
+            self._san.note_read_retired(line, time)
         victim = self.l2.insert(line, dirty=released.write_intent,
                                 critical_word=released.critical_word)
         if victim is not None:
@@ -248,10 +281,12 @@ class Uncore:
         accepted = self.memory.issue_read(
             line_address=line, critical_word=0, core_id=core_id,
             is_prefetch=True,
-            on_critical=lambda t, ln=line: self._on_critical(ln, t),
-            on_complete=lambda t, ln=line: self._on_complete(ln, t))
+            on_critical=_LineCritical(self, line),
+            on_complete=_LineComplete(self, line))
         if not accepted:
             self.mshrs.deallocate(line)
             self.prefetch_drops += 1
             return
         self.dram_reads += 1
+        if self._san is not None:
+            self._san.note_read_issued(line, self.events.now)

@@ -52,6 +52,32 @@ from repro.util.events import EventQueue
 FAR_FUTURE = 1 << 62
 
 
+class _DeliverCritical:
+    """Scheduled critical-word delivery (picklable, not a closure)."""
+
+    __slots__ = ("req",)
+
+    def __init__(self, req: MemoryRequest) -> None:
+        self.req = req
+
+    def __call__(self) -> None:
+        req = self.req
+        req.on_critical_word(req.critical_word_time)
+
+
+class _DeliverComplete:
+    """Scheduled line-completion delivery (picklable, not a closure)."""
+
+    __slots__ = ("req",)
+
+    def __init__(self, req: MemoryRequest) -> None:
+        self.req = req
+
+    def __call__(self) -> None:
+        req = self.req
+        req.on_complete(req.completion_time)
+
+
 @dataclass
 class ControllerConfig:
     """Knobs from paper Table 1 plus policy switches."""
@@ -133,6 +159,9 @@ class MemoryController:
         "_age_threshold", "_fr_fcfs", "_rd_size", "_wr_size",
         "_high_wm", "_low_wm",
         "_queue_version", "_partition_version", "_partition",
+        # Optional protocol sanitizer (shadow timing/FSM model); None on
+        # un-instrumented runs so every hook costs one identity check.
+        "_san",
     )
 
     def __init__(self, device: DeviceConfig, timing: TimingSet,
@@ -209,6 +238,7 @@ class MemoryController:
         self._wr_size = cfg.write_queue_size
         self._high_wm = cfg.high_watermark
         self._low_wm = cfg.low_watermark
+        self._san = None
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -288,6 +318,9 @@ class MemoryController:
         rank = self.ranks[request.decoded.rank]
         if rank.power_state in (PowerState.POWER_DOWN, PowerState.SELF_REFRESH):
             rank.wake(now)
+            if self._san is not None:
+                self._san.note_wake(now, request.decoded.rank,
+                                    rank.wake_time)
         self._schedule_tick(now)
         return True
 
@@ -565,6 +598,8 @@ class MemoryController:
                         self._cmd_reserve(now)
                         bank.precharge(now)
                         rank.touch(now)
+                        if self._san is not None:
+                            self._san.note_pre(now, d.rank, d.bank)
                         if req.first_command_time is None:
                             req.first_command_time = now
                         return True
@@ -574,6 +609,8 @@ class MemoryController:
                     self._cmd_reserve(now)
                     bank.activate(now, d.row)
                     rank.note_activate(now)
+                    if self._san is not None:
+                        self._san.note_act(now, d.rank, d.bank, d.row)
                     if req.first_command_time is None:
                         req.first_command_time = now
                     return True
@@ -613,6 +650,9 @@ class MemoryController:
             data_start = bank.column_write(now)
         bus = self._rank_bus[d.rank]
         end = bus.reserve(data_start, req.kind, d.rank)
+        if self._san is not None:
+            self._san.note_cas(now, d.rank, d.bank, d.row, req.is_read,
+                               data_start, end)
         if req.first_command_time is None:
             req.first_command_time = now
         self._complete(req, data_start, end)
@@ -635,6 +675,8 @@ class MemoryController:
                 self._cmd_reserve(now)
                 bank.precharge(now)
                 rank.touch(now)
+                if self._san is not None:
+                    self._san.note_pre(now, d.rank, d.bank)
                 if req.first_command_time is None:
                     req.first_command_time = now
                 return True
@@ -645,6 +687,8 @@ class MemoryController:
                 self._cmd_reserve(now)
                 bank.activate(now, d.row)
                 rank.note_activate(now)
+                if self._san is not None:
+                    self._san.note_act(now, d.rank, d.bank, d.row)
                 if req.first_command_time is None:
                     req.first_command_time = now
                 return True
@@ -692,6 +736,9 @@ class MemoryController:
         rank.note_activate(now)
         bus = rank_bus[d.rank]
         end = bus.reserve(data_start, best.kind, d.rank)
+        if self._san is not None:
+            self._san.note_access(now, d.rank, d.bank,
+                                  not best.is_read, data_start, end)
         if best.first_command_time is None:
             best.first_command_time = now
         self._complete(best, data_start, end)
@@ -741,14 +788,13 @@ class MemoryController:
                 self._h_critical_lat.observe(total_latency)
                 self._h_total_lat.observe(total_latency)
             if req.on_critical_word is not None:
-                self.events.schedule(critical_time,
-                                     lambda r=req: r.on_critical_word(r.critical_word_time))
+                self.events.schedule(critical_time, _DeliverCritical(req))
         else:
             stats.writes_done += 1
         if self.tracer is not NULL_TRACER:
             self.tracer.record_request(req, self.name)
         if req.on_complete is not None:
-            self.events.schedule(end, lambda r=req: r.on_complete(r.completion_time))
+            self.events.schedule(end, _DeliverComplete(req))
 
     # ------------------------------------------------------------------
     # Refresh and power-down
@@ -768,6 +814,9 @@ class MemoryController:
                     if (bank.state is BankState.ACTIVE
                             and bank.can_precharge(now)):
                         bank.precharge(now)
+                        if self._san is not None:
+                            self._san.note_pre(now, i, bank.index,
+                                               scheduled=False)
                 if rank.open_banks:
                     continue
             if now < rank.wake_time:
@@ -776,6 +825,8 @@ class MemoryController:
             for bank in rank.banks:
                 bank.refresh_block(now, until)
             rank.touch(now)
+            if self._san is not None:
+                self._san.note_refresh(now, i, until)
             next_refresh[i] = max(next_refresh[i] + self._t_refi,
                                   now + self._t_refi // 2)
             self._refresh_pending[i] = False
@@ -804,7 +855,11 @@ class MemoryController:
                             and now - bank.last_use >= threshold
                             and bank.can_precharge(now)):
                         bank.precharge(now)
-            rank.try_power_down(now, threshold)
+                        if self._san is not None:
+                            self._san.note_pre(now, 0, bank.index,
+                                               scheduled=False)
+            if rank.try_power_down(now, threshold) and self._san is not None:
+                self._san.note_power_down(now, 0)
             return
         busy_ranks = None
         for i, rank in enumerate(ranks):
@@ -830,7 +885,11 @@ class MemoryController:
                             and now - bank.last_use >= threshold
                             and bank.can_precharge(now)):
                         bank.precharge(now)
-            rank.try_power_down(now, threshold)
+                        if self._san is not None:
+                            self._san.note_pre(now, i, bank.index,
+                                               scheduled=False)
+            if rank.try_power_down(now, threshold) and self._san is not None:
+                self._san.note_power_down(now, i)
 
     def _earliest_progress_time(self, now: int, req: MemoryRequest) -> int:
         """Lower bound on when ``req``'s next command could become legal."""

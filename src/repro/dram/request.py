@@ -11,14 +11,39 @@ frozen to a plain attribute at construction for the same reason.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Callable, Optional
 
 WORDS_PER_LINE = 8
 WORD_BYTES = 8
 LINE_BYTES = WORDS_PER_LINE * WORD_BYTES
 
-_request_ids = itertools.count()
+
+class RequestIdAllocator:
+    """Process-wide request-id counter with an inspectable position.
+
+    Request ids break FR-FCFS arrival-time ties, so the id stream is
+    part of simulation determinism. Unlike ``itertools.count`` the
+    position can be read out and restored, which is what lets a resumed
+    checkpoint hand out the same ids an uninterrupted run would have.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, next_id: int = 0) -> None:
+        self.next_id = next_id
+
+    def allocate(self) -> int:
+        value = self.next_id
+        self.next_id = value + 1
+        return value
+
+
+_request_ids = RequestIdAllocator()
+
+
+def request_id_allocator() -> RequestIdAllocator:
+    """The process-wide allocator (checkpoint save/restore handle)."""
+    return _request_ids
 
 
 class RequestKind(enum.Enum):
@@ -93,7 +118,7 @@ class MemoryRequest:
         self.is_prefetch = is_prefetch
         self.core_id = core_id
         self.arrival_time = arrival_time
-        self.request_id = (next(_request_ids) if request_id is None
+        self.request_id = (_request_ids.allocate() if request_id is None
                            else request_id)
         self.decoded = decoded
         self.on_critical_word = on_critical_word

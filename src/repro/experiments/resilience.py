@@ -269,7 +269,7 @@ class InjectedCrash(RuntimeError):
     """Raised by a ``crash``-mode fault."""
 
 
-FAULT_MODES = ("crash", "kill", "hang", "corrupt")
+FAULT_MODES = ("crash", "kill", "hang", "corrupt", "ckptkill")
 
 #: What a ``corrupt``-mode fault returns in place of a SimResult.
 CORRUPT_PAYLOAD: Dict[str, bool] = {"__injected_corrupt__": True}
@@ -326,7 +326,9 @@ class FaultPlan:
             parts = rest.split(":")
             mode = parts[0].strip()
             times: Optional[int] = 1
-            seconds = 30.0
+            # The third slot is mode-dependent: hang duration in seconds,
+            # or — for ckptkill — the save ordinal to die after.
+            seconds = 1.0 if mode == "ckptkill" else 30.0
             if len(parts) > 1 and parts[1].strip():
                 raw = parts[1].strip()
                 times = None if raw == "*" else int(raw)
@@ -370,6 +372,22 @@ class FaultPlan:
             os._exit(1)  # simulate an OOM-kill: no cleanup, no excuses
         if fault.mode == "hang":
             time.sleep(fault.seconds)
+        # "ckptkill" deliberately does NOT fire here: it is consumed by
+        # the checkpoint layer (see kill_after_saves), which hard-exits
+        # right after the N-th snapshot lands — a mid-flight death that
+        # leaves a valid checkpoint for the retry to resume from.
+
+    def kill_after_saves(self, label: str, attempt: int) -> Optional[int]:
+        """``ckptkill`` plan for this attempt: die after the N-th save.
+
+        The entry ``label=ckptkill[:times][:N]`` reuses the *seconds*
+        slot as the save ordinal N (default 1: die right after the
+        first snapshot). Returns None when no such fault is planned.
+        """
+        fault = self.fault_for(label, attempt)
+        if fault is not None and fault.mode == "ckptkill":
+            return max(1, int(fault.seconds))
+        return None
 
     def after_run(self, label: str, attempt: int, result: object) -> object:
         """Replace the result with a corrupt payload when planned."""

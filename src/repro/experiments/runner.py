@@ -51,6 +51,14 @@ class ExperimentConfig:
     timeout_s: Optional[float] = None
     keep_going: bool = False
     degrade_serial: bool = False
+    # Crash-safe checkpointing (see repro.sim.checkpoint): when a
+    # directory is set, non-runner specs snapshot the whole simulator
+    # every `checkpoint_every` DRAM reads (0 = module default) and a
+    # retried spec resumes from the last snapshot instead of starting
+    # over. Neither knob affects cache keys: a resumed result is
+    # byte-identical to an uninterrupted one.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 0
 
     def suite(self) -> List[str]:
         return list(self.benchmarks) if self.benchmarks else benchmark_names()
@@ -86,13 +94,16 @@ def default_config() -> ExperimentConfig:
                     if b.strip())
     cache = os.environ.get("REPRO_CACHE", ".repro_cache")
     keep_going = os.environ.get("REPRO_KEEP_GOING", "").strip().lower()
+    ckpt_dir = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
     return ExperimentConfig(
         target_dram_reads=reads,
         benchmarks=benches,
         cache_dir=None if cache.lower() == "off" else cache,
         retries=_env_number("REPRO_RETRIES", 0, int),
         timeout_s=_env_number("REPRO_TIMEOUT", None, float),
-        keep_going=keep_going in ("1", "true", "yes", "on"))
+        keep_going=keep_going in ("1", "true", "yes", "on"),
+        checkpoint_dir=ckpt_dir or None,
+        checkpoint_every=_env_number("REPRO_CHECKPOINT_EVERY", 0, int))
 
 
 class ResultCache:

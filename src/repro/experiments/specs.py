@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -221,8 +222,24 @@ def execute_spec(spec: RunSpec, config, attempt: int = 1) -> SimResult:
     if spec.runner:
         result = resolve_runner(spec.runner)(spec, config)
     else:
-        result = run_benchmark(spec.benchmark,
-                               spec.resolved_sim_config(config))
+        sim_config = spec.resolved_sim_config(config)
+        directory = (getattr(config, "checkpoint_dir", None)
+                     or os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+                     or None)
+        if directory:
+            # Crash-safe path: snapshot periodically, resume from the
+            # last snapshot on a retry. Named runners are excluded —
+            # they own their simulation loop — and the result stays
+            # byte-identical to a plain run (see repro.sim.checkpoint).
+            from repro.sim.checkpoint import run_benchmark_checkpointed
+            every = int(getattr(config, "checkpoint_every", 0)) or None
+            kill_after = (plan.kill_after_saves(spec.label, attempt)
+                          if plan is not None else None)
+            result = run_benchmark_checkpointed(
+                spec.benchmark, sim_config, spec_cache_key(spec, config),
+                directory, every_reads=every, kill_after=kill_after)
+        else:
+            result = run_benchmark(spec.benchmark, sim_config)
     if plan is not None:
         result = plan.after_run(spec.label, attempt, result)
     return result

@@ -32,6 +32,47 @@ class HomogeneousConfig:
     cpu_freq_ghz: float = 3.2
 
 
+class _ReadCritical:
+    """Stats-recording critical-word callback (picklable, not a closure)."""
+
+    __slots__ = ("memory", "start", "is_prefetch", "on_critical")
+
+    def __init__(self, memory: "HomogeneousMemory", start: int,
+                 is_prefetch: bool,
+                 on_critical: Callable[[int], None]) -> None:
+        self.memory = memory
+        self.start = start
+        self.is_prefetch = is_prefetch
+        self.on_critical = on_critical
+
+    def __call__(self, t: int) -> None:
+        memory = self.memory
+        if not self.is_prefetch:
+            memory.stats.sum_critical_latency += t - self.start
+            if memory._telemetry_attached:
+                memory._h_critical.observe(t - self.start)
+        self.on_critical(t)
+
+
+class _ReadComplete:
+    """Stats-recording fill-complete callback (picklable, not a closure)."""
+
+    __slots__ = ("memory", "start", "on_complete")
+
+    def __init__(self, memory: "HomogeneousMemory", start: int,
+                 on_complete: Callable[[int], None]) -> None:
+        self.memory = memory
+        self.start = start
+        self.on_complete = on_complete
+
+    def __call__(self, t: int) -> None:
+        memory = self.memory
+        memory.stats.sum_fill_latency += t - self.start
+        if memory._telemetry_attached:
+            memory._h_fill.observe(t - self.start)
+        self.on_complete(t)
+
+
 class HomogeneousMemory(MemorySystem):
     """N identical channels, each with its own controller."""
 
@@ -82,21 +123,9 @@ class HomogeneousMemory(MemorySystem):
             critical_word=critical_word, is_prefetch=is_prefetch,
             core_id=core_id, decoded=decoded)
 
-        def critical_cb(t: int) -> None:
-            if not is_prefetch:
-                self.stats.sum_critical_latency += t - start
-                if self._telemetry_attached:
-                    self._h_critical.observe(t - start)
-            on_critical(t)
-
-        def complete_cb(t: int) -> None:
-            self.stats.sum_fill_latency += t - start
-            if self._telemetry_attached:
-                self._h_fill.observe(t - start)
-            on_complete(t)
-
-        request.on_critical_word = critical_cb
-        request.on_complete = complete_cb
+        request.on_critical_word = _ReadCritical(self, start, is_prefetch,
+                                                 on_critical)
+        request.on_complete = _ReadComplete(self, start, on_complete)
         if not controller.enqueue(request):
             return False
         self.stats.reads += 1

@@ -1,0 +1,293 @@
+"""Shadow protocol model: independent re-derivation of DRAM legality.
+
+The shadow classes mirror the JEDEC-style rules the real bank / rank /
+bus models enforce, but from their own state, fed only by the command
+stream the controller reports (``note_act`` / ``note_pre`` / ...). They
+never read the live ``Bank``/``Rank``/``DataBus`` objects, so a bug that
+corrupts the real timing state (a missed constraint, a stale horizon)
+shows up as a divergence here instead of silently propagating.
+
+Check methods return a ``(rule, conflict)`` tuple for the *first* rule
+the command breaks, or ``None`` when it is legal; apply methods then
+advance the shadow state unconditionally (even after a violation) so one
+bad command does not cascade into a storm of follow-on reports.
+
+All quantities are integer CPU cycles, exactly like the real models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.timing import TimingSet
+
+FAR_FUTURE = 1 << 62
+
+Check = Optional[Tuple[str, str]]
+
+
+class ShadowBank:
+    """Bank FSM legality: ACT/READ/WRITE/PRE windows from first principles."""
+
+    __slots__ = (
+        "index", "active", "open_row",
+        "next_activate", "next_read", "next_write", "next_precharge",
+        "last_act", "last_pre", "last_cas", "last_refresh",
+        "t_rcd", "t_ras", "t_rc", "t_rp", "t_ccd",
+        "_write_recovery", "_access_occupancy",
+    )
+
+    def __init__(self, timing: TimingSet, index: int) -> None:
+        self.index = index
+        self.active = False
+        self.open_row: Optional[int] = None
+        self.next_activate = 0
+        self.next_read = FAR_FUTURE
+        self.next_write = FAR_FUTURE
+        self.next_precharge = 0
+        # Last observed command of each class, for conflict reporting.
+        self.last_act = -1
+        self.last_pre = -1
+        self.last_cas = -1
+        self.last_refresh = -1
+        self.t_rcd = timing.t_rcd
+        self.t_ras = timing.t_ras
+        self.t_rc = timing.t_rc
+        self.t_rp = timing.t_rp
+        self.t_ccd = timing.t_ccd
+        self._write_recovery = timing.t_wl + timing.t_burst + timing.t_wtr
+        self._access_occupancy = max(timing.t_rc, timing.t_rcd + timing.t_rp)
+
+    # --- ACT ----------------------------------------------------------
+
+    def check_activate(self, now: int) -> Check:
+        if self.active:
+            return ("bank.act_on_active",
+                    f"ACT@{self.last_act} left row {self.open_row} open")
+        if now < self.next_activate:
+            if self.last_refresh > self.last_pre:
+                return ("bank.act_in_refresh",
+                        f"REF@{self.last_refresh} blocks until "
+                        f"{self.next_activate}")
+            return ("bank.act_timing",
+                    f"tRC/tRP window open at {self.next_activate} "
+                    f"(ACT@{self.last_act}, PRE@{self.last_pre})")
+        return None
+
+    def apply_activate(self, now: int, row: int) -> None:
+        self.active = True
+        self.open_row = row
+        self.next_read = now + self.t_rcd
+        self.next_write = now + self.t_rcd
+        self.next_precharge = now + self.t_ras
+        self.next_activate = now + self.t_rc
+        self.last_act = now
+
+    # --- column READ / WRITE ------------------------------------------
+
+    def check_cas(self, now: int, row: int, is_read: bool) -> Check:
+        if not self.active:
+            return ("bank.cas_on_idle",
+                    f"bank precharged since PRE@{self.last_pre}")
+        if self.open_row != row:
+            return ("bank.cas_row_mismatch",
+                    f"ACT@{self.last_act} opened row {self.open_row}")
+        horizon = self.next_read if is_read else self.next_write
+        if now < horizon:
+            return ("bank.cas_timing",
+                    f"tRCD/tCCD window open at {horizon} "
+                    f"(ACT@{self.last_act}, CAS@{self.last_cas})")
+        return None
+
+    def apply_cas(self, now: int, is_read: bool) -> None:
+        next_col = now + self.t_ccd
+        if next_col > self.next_read:
+            self.next_read = next_col
+        if next_col > self.next_write:
+            self.next_write = next_col
+        bound = next_col if is_read else now + self._write_recovery
+        if bound > self.next_precharge:
+            self.next_precharge = bound
+        self.last_cas = now
+
+    # --- PRE ----------------------------------------------------------
+
+    def check_precharge(self, now: int) -> Check:
+        if not self.active:
+            return ("bank.pre_on_idle",
+                    f"bank already precharged (PRE@{self.last_pre})")
+        if now < self.next_precharge:
+            return ("bank.pre_timing",
+                    f"tRAS/write-recovery window open at "
+                    f"{self.next_precharge} (ACT@{self.last_act}, "
+                    f"CAS@{self.last_cas})")
+        return None
+
+    def apply_precharge(self, now: int) -> None:
+        self.active = False
+        self.open_row = None
+        ready = now + self.t_rp
+        if ready > self.next_activate:
+            self.next_activate = ready
+        self.next_read = FAR_FUTURE
+        self.next_write = FAR_FUTURE
+        self.last_pre = now
+
+    # --- close-page fused ACCESS --------------------------------------
+
+    def check_access(self, now: int) -> Check:
+        if now < self.next_activate:
+            return ("bank.access_busy",
+                    f"tRC occupancy from ACCESS@{self.last_act} ends "
+                    f"at {self.next_activate}")
+        return None
+
+    def apply_access(self, now: int) -> None:
+        self.next_activate = now + self._access_occupancy
+        self.last_act = now
+        self.last_cas = now
+
+    # --- refresh ------------------------------------------------------
+
+    def apply_refresh(self, now: int, until: int) -> None:
+        self.active = False
+        self.open_row = None
+        self.next_read = FAR_FUTURE
+        self.next_write = FAR_FUTURE
+        if until > self.next_activate:
+            self.next_activate = until
+        self.last_refresh = now
+
+
+class ShadowRank:
+    """Rank-wide legality: tRRD, tFAW sliding window, power-down state."""
+
+    __slots__ = ("index", "banks", "recent_acts", "next_act_allowed",
+                 "powered_down", "wake_time", "last_power_down",
+                 "t_faw", "t_rrd")
+
+    def __init__(self, timing: TimingSet, num_banks: int, index: int) -> None:
+        self.index = index
+        self.banks: List[ShadowBank] = [
+            ShadowBank(timing, b) for b in range(num_banks)
+        ]
+        # Sliding window of the most recent ACT/ACCESS issue times.
+        self.recent_acts: List[int] = []
+        self.next_act_allowed = 0
+        self.powered_down = False
+        self.wake_time = 0
+        self.last_power_down = -1
+        self.t_faw = timing.t_faw
+        self.t_rrd = timing.t_rrd
+
+    def open_bank_count(self) -> int:
+        return sum(1 for b in self.banks if b.active)
+
+    def check_available(self, now: int) -> Check:
+        """A scheduled command requires the rank awake and wake complete."""
+        if self.powered_down:
+            return ("rank.cmd_powered_down",
+                    f"power-down entered at {self.last_power_down}")
+        if now < self.wake_time:
+            return ("rank.cmd_before_wake",
+                    f"power-down exit completes at {self.wake_time}")
+        return None
+
+    def check_act_spacing(self, now: int) -> Check:
+        """tRRD and the rolling-four-ACT tFAW window."""
+        if now < self.next_act_allowed:
+            return ("rank.trrd",
+                    f"previous ACT@{self.next_act_allowed - self.t_rrd}")
+        if self.t_faw > 0 and len(self.recent_acts) >= 4:
+            window = self.recent_acts[-4] + self.t_faw
+            if now < window:
+                return ("rank.tfaw",
+                        f"4th-last ACT@{self.recent_acts[-4]} holds the "
+                        f"window until {window}")
+        return None
+
+    def apply_act(self, now: int) -> None:
+        self.recent_acts.append(now)
+        if len(self.recent_acts) > 8:
+            del self.recent_acts[:-8]
+        self.next_act_allowed = now + self.t_rrd
+
+    def apply_wake(self, now: int, ready_at: int) -> None:
+        self.powered_down = False
+        self.wake_time = ready_at
+
+
+class ShadowDataBus:
+    """Single-driver data bus: burst occupancy plus turnaround gaps."""
+
+    __slots__ = ("free_at", "last_was_read", "last_rank", "last_start",
+                 "t_burst", "t_rtrs", "t_wtr")
+
+    def __init__(self, timing: TimingSet) -> None:
+        self.free_at = 0
+        self.last_was_read: Optional[bool] = None
+        self.last_rank: Optional[int] = None
+        self.last_start = -1
+        self.t_burst = timing.t_burst
+        self.t_rtrs = timing.t_rtrs
+        self.t_wtr = timing.t_wtr
+
+    def earliest_start(self, desired: int, is_read: bool, rank: int) -> int:
+        free_at = self.free_at
+        start = desired if desired > free_at else free_at
+        last = self.last_was_read
+        if last is None:
+            return start
+        gap = 0
+        if self.last_rank is not None and rank != self.last_rank:
+            gap = self.t_rtrs
+        if is_read:
+            if not last and self.t_wtr > gap:
+                gap = self.t_wtr
+        elif last and self.t_rtrs > gap:
+            gap = self.t_rtrs
+        gapped = free_at + gap
+        return gapped if gapped > start else start
+
+    def describe_last(self) -> str:
+        if self.last_was_read is None:
+            return "idle bus"
+        kind = "READ" if self.last_was_read else "WRITE"
+        return (f"{kind} burst from rank {self.last_rank} "
+                f"@{self.last_start} (bus free at {self.free_at})")
+
+    def apply(self, start: int, end: int, is_read: bool, rank: int) -> None:
+        # Resync even after a violation so one bad burst does not make
+        # every later burst look misplaced.
+        if end > self.free_at:
+            self.free_at = end
+        self.last_was_read = is_read
+        self.last_rank = rank
+        self.last_start = start
+
+
+class ShadowCmdBus:
+    """Slotted command bus: at most N commands per bus cycle."""
+
+    __slots__ = ("slots_per_cycle", "bus_cycle", "used")
+
+    def __init__(self, timing: TimingSet, slots_per_cycle: int) -> None:
+        self.slots_per_cycle = slots_per_cycle
+        self.bus_cycle = max(1, timing.bus_cycle)
+        self.used: Dict[int, int] = {}
+
+    def take_slot(self, now: int) -> Check:
+        """Consume one slot; reports overflow but still counts it."""
+        cyc = now // self.bus_cycle
+        used = self.used
+        count = used.get(cyc, 0) + 1
+        used[cyc] = count
+        if len(used) > 4096:
+            cutoff = cyc - 2048
+            for key in [k for k in used if k < cutoff]:
+                del used[key]
+        if count > self.slots_per_cycle:
+            return ("bus.cmd_overflow",
+                    f"{count} commands in bus cycle {cyc} "
+                    f"({self.slots_per_cycle} slots)")
+        return None

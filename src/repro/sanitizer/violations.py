@@ -1,0 +1,117 @@
+"""Structured protocol-violation records and the run-level report.
+
+A violation is one illegal command observed by the shadow protocol
+model: the rule it broke, the cycle it happened, where (controller /
+rank / bank), the offending command, and the earlier event it conflicts
+with. Violations are *reported*, never acted on — the sanitizer watches
+the real simulation and must not perturb it (resumed and sanitized runs
+must stay byte-identical to plain ones).
+
+The report is deliberately small: per-rule counts are exact, but only
+the first :data:`MAX_STORED` full records are kept so a badly broken
+model cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+# Full records kept per report; counts keep tallying past this.
+MAX_STORED = 256
+
+
+@dataclass(frozen=True)
+class ProtocolViolation:
+    """One observed protocol violation."""
+
+    rule: str          # catalogue name, e.g. "bank.cas_trcd"
+    time: int          # CPU cycle the offending command issued
+    source: str        # controller name, "uncore", or "events"
+    rank: int = -1     # -1 when the rule has no rank locus
+    bank: int = -1     # -1 when the rule has no bank locus
+    command: str = ""  # the offending command, e.g. "ACT row=12"
+    conflict: str = "" # the earlier event it conflicts with
+    detail: str = ""   # free-form extra context
+
+    def describe(self) -> str:
+        where = self.source
+        if self.rank >= 0:
+            where += f"/rank{self.rank}"
+        if self.bank >= 0:
+            where += f"/bank{self.bank}"
+        text = f"[{self.rule}] t={self.time} {where}: {self.command}"
+        if self.conflict:
+            text += f" conflicts with {self.conflict}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule, "time": self.time, "source": self.source,
+            "rank": self.rank, "bank": self.bank, "command": self.command,
+            "conflict": self.conflict, "detail": self.detail,
+        }
+
+
+class SanitizerError(RuntimeError):
+    """Raised in strict mode on the first violation."""
+
+    def __init__(self, violation: ProtocolViolation) -> None:
+        super().__init__(violation.describe())
+        self.violation = violation
+
+
+class SanitizerReport:
+    """Collects violations for one process (all runs, all controllers)."""
+
+    __slots__ = ("violations", "counts", "total", "strict")
+
+    def __init__(self, strict: bool = False) -> None:
+        self.violations: List[ProtocolViolation] = []
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+        self.strict = strict
+
+    def record(self, violation: ProtocolViolation) -> None:
+        self.total += 1
+        self.counts[violation.rule] = self.counts.get(violation.rule, 0) + 1
+        if len(self.violations) < MAX_STORED:
+            self.violations.append(violation)
+        if self.strict:
+            raise SanitizerError(violation)
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    def summary(self) -> dict:
+        return {
+            "total": self.total,
+            "by_rule": dict(sorted(self.counts.items())),
+            "stored": len(self.violations),
+        }
+
+    def merge(self, counts: Dict[str, int]) -> None:
+        """Fold per-rule counts from another report (e.g. a worker)."""
+        for rule, n in counts.items():
+            self.counts[rule] = self.counts.get(rule, 0) + n
+            self.total += n
+
+
+# Process-wide report. Worker processes each get their own (fresh
+# interpreter); their per-rule counts travel back to the parent as
+# ``sanitizer.*`` telemetry counters.
+_GLOBAL = SanitizerReport()
+
+
+def global_report() -> SanitizerReport:
+    return _GLOBAL
+
+
+def reset_global_report(strict: bool = False) -> SanitizerReport:
+    """Install a fresh process-wide report and return it."""
+    global _GLOBAL
+    _GLOBAL = SanitizerReport(strict=strict)
+    return _GLOBAL

@@ -22,6 +22,7 @@ Pieces:
 
 from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
 from repro.service.http import (
+    FORCED_EXIT_CODE,
     ReproHTTPServer,
     make_server,
     serve_until_signal,
@@ -45,7 +46,7 @@ from repro.service.scheduler import (
 from repro.service.store import DEFAULT_STATE_DIR, JobStore
 
 __all__ = [
-    "DEFAULT_STATE_DIR", "DEFAULT_URL",
+    "DEFAULT_STATE_DIR", "DEFAULT_URL", "FORCED_EXIT_CODE",
     "Job", "JobScheduler", "JobStore", "JobValidationError",
     "QueueFull", "ReproHTTPServer", "SchedulerStopped",
     "ServiceClient", "ServiceError",

@@ -23,6 +23,7 @@ stop accepting, finish the in-flight batch, persist, exit.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -143,18 +144,34 @@ def make_server(scheduler: JobScheduler, host: str = "127.0.0.1",
     return ReproHTTPServer((host, port), scheduler, verbose=verbose)
 
 
+#: Exit code of a forced (double-signal) shutdown.
+FORCED_EXIT_CODE = 70  # EX_SOFTWARE: the drain was abandoned
+
+
 def serve_until_signal(server: ReproHTTPServer,
-                       scheduler: JobScheduler) -> None:
+                       scheduler: JobScheduler) -> int:
     """Serve until SIGTERM/SIGINT, then drain gracefully.
 
-    The signal handler flips the scheduler into draining (new submits
+    The first signal flips the scheduler into draining (new submits
     answer 503) and stops the accept loop from a side thread —
     ``HTTPServer.shutdown`` must not be called from the thread running
     ``serve_forever``. The in-flight batch finishes and persists before
-    the process exits.
+    the process exits; returns 0.
+
+    A *second* signal while the drain is still in progress means the
+    operator (or the supervisor's escalation policy) will not wait:
+    the process hard-exits immediately with :data:`FORCED_EXIT_CODE`
+    (non-zero, so unit files and CI mark the stop as unclean). Job
+    manifests are durable at every state change and simulations
+    checkpoint, so the abandoned batch is recovered on restart.
     """
+    signals_seen = 0
 
     def _stop(_signum, _frame) -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen > 1:
+            os._exit(FORCED_EXIT_CODE)  # second signal: die NOW
         scheduler.begin_drain()  # refuse new work immediately
         threading.Thread(target=server.shutdown, daemon=True).start()
 
@@ -163,8 +180,13 @@ def serve_until_signal(server: ReproHTTPServer,
         previous[signum] = signal.signal(signum, _stop)
     try:
         server.serve_forever(poll_interval=0.2)
+        # The drain below (batch completion, pool shutdown) still runs
+        # under the forced-exit handler: a second signal cuts it short.
+        server.server_close()
+        scheduler.shutdown()
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
         server.server_close()
-        scheduler.shutdown()
+        scheduler.shutdown()  # idempotent; covers the exception path
+    return 0

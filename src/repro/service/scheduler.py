@@ -241,6 +241,10 @@ class JobScheduler:
         health = self.health()
         service = {f"service.{name}": value
                    for name, value in sorted(self.counters.items())}
+        service.update(
+            {f"service.{name}": value
+             for name, value in sorted(
+                 getattr(self.store, "counters", {}).items())})
         executor = {f"executor.{name}": value
                     for name, value in sorted(self.executor.counters.items())}
         cache_stats = self.executor.cache.stats()

@@ -17,9 +17,10 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.service.jobs import TERMINAL_STATES, Job
+from repro.telemetry.session import active_session
 
 DEFAULT_STATE_DIR = ".repro_jobs"
 
@@ -30,6 +31,7 @@ class JobStore:
     def __init__(self, directory: str = DEFAULT_STATE_DIR) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.counters: Dict[str, int] = {"manifests_quarantined": 0}
 
     def _path(self, job_id: str) -> Path:
         # Job ids are generated server-side (j-<hex>), but manifests are
@@ -48,6 +50,20 @@ class JobStore:
             tmp.unlink(missing_ok=True)
 
     def load(self, job_id: str) -> Optional[Job]:
+        """Recall a manifest; corruption quarantines the file.
+
+        Torn/truncated JSON, non-dict payloads, and manifests this
+        server version cannot parse (schema drift, hand-edited files)
+        all read as absent rather than crashing every listing that
+        walks the directory — but the offending file is renamed to
+        ``<manifest>.json.corrupt`` first (the
+        :class:`~repro.experiments.runner.ResultCache` discipline) so
+        the evidence survives for a post-mortem instead of being
+        re-clobbered by the next :meth:`save`, and the event is counted
+        (``service.manifests_quarantined`` in ``/metrics``). A plain
+        read race (``OSError``) stays a silent miss — the file may be
+        mid-replace, not corrupt.
+        """
         try:
             path = self._path(job_id)
         except ValueError:
@@ -56,17 +72,32 @@ class JobStore:
             return None
         try:
             data = json.loads(path.read_text())
-        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return self._quarantine(path)
+        except OSError:
             return None
         if not isinstance(data, dict):
-            return None
+            return self._quarantine(path)
         try:
             return Job.from_dict(data)
         except Exception:
-            # A manifest this server version cannot parse (schema drift,
-            # hand-edited file) reads as absent rather than crashing
-            # every listing that walks the directory.
-            return None
+            return self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> None:
+        """Set a corrupt manifest aside as ``<manifest>.json.corrupt``.
+
+        The renamed file no longer matches the ``j-*.json`` glob, so
+        listings and recovery skip it naturally.
+        """
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:  # pragma: no cover - raced or read-only dir
+            pass
+        self.counters["manifests_quarantined"] += 1
+        session = active_session()
+        if session is not None:
+            session.incr("service.manifests_quarantined")
+        return None
 
     def job_ids(self) -> List[str]:
         return sorted(p.stem for p in self.directory.glob("j-*.json"))

@@ -18,6 +18,14 @@ from repro.cpu.core import Core, TraceRecord
 from repro.cpu.uncore import Uncore
 from repro.dram.power import default_power_model
 from repro.memsys.base import MemorySystem, assert_conformant
+from repro.sanitizer import (
+    MODE_OFF,
+    MODE_STRICT,
+    ProtocolViolation,
+    attach_sanitizers,
+    global_report,
+    sanitize_mode,
+)
 from repro.sim.config import SimConfig, build_memory
 from repro.telemetry.sampler import Sampler
 from repro.telemetry.session import RunTelemetry, active_session
@@ -74,6 +82,56 @@ class SimResult:
         return self.throughput / baseline.throughput if baseline.throughput else 0.0
 
 
+class _ReadQueueProbe:
+    """Sampler probe: controller read-queue occupancy (picklable)."""
+
+    __slots__ = ("mc",)
+
+    def __init__(self, mc) -> None:
+        self.mc = mc
+
+    def __call__(self) -> int:
+        return len(self.mc.read_queue)
+
+
+class _WriteQueueProbe:
+    """Sampler probe: controller write-queue occupancy (picklable)."""
+
+    __slots__ = ("mc",)
+
+    def __init__(self, mc) -> None:
+        self.mc = mc
+
+    def __call__(self) -> int:
+        return len(self.mc.write_queue)
+
+
+class _BusUtilProbe:
+    """Sampler probe: channel data-bus utilization in percent (picklable)."""
+
+    __slots__ = ("system", "mc")
+
+    def __init__(self, system: "SimulationSystem", mc) -> None:
+        self.system = system
+        self.mc = mc
+
+    def __call__(self) -> float:
+        return 100.0 * self.mc.channel.utilization(
+            max(1, self.system.events.now))
+
+
+class _MSHRProbe:
+    """Sampler probe: MSHR file occupancy (picklable)."""
+
+    __slots__ = ("system",)
+
+    def __init__(self, system: "SimulationSystem") -> None:
+        self.system = system
+
+    def __call__(self) -> int:
+        return len(self.system.uncore.mshrs)
+
+
 class SimulationSystem:
     """Assembled cores + uncore + memory, runnable once."""
 
@@ -115,6 +173,22 @@ class SimulationSystem:
         self.sampler: Optional[Sampler] = None
         if telemetry is not None:
             self._attach_telemetry(telemetry)
+        # Optional protocol sanitizer (REPRO_SANITIZE / repro run
+        # --check): shadow FSM/timing checkers on every conventional
+        # controller plus read conservation at the uncore. Off by
+        # default; the hot path then pays one `is None` check per hook.
+        self._san_report = None
+        self._san_uncore = None
+        self._san_counts_before: Optional[Dict[str, int]] = None
+        mode = sanitize_mode()
+        if mode != MODE_OFF:
+            report = global_report()
+            if mode == MODE_STRICT:
+                report.strict = True
+            _, self._san_uncore = attach_sanitizers(
+                self.memory, self.uncore, report)
+            self._san_report = report
+            self._san_counts_before = dict(report.counts)
 
     def _attach_telemetry(self, telemetry: RunTelemetry) -> None:
         """Instrument the memory hierarchy and start periodic sampling."""
@@ -124,36 +198,75 @@ class SimulationSystem:
         for mc in self.memory.telemetry_controllers():
             self.sampler.add_probe(
                 f"dram.{mc.name}.read_queue_occupancy",
-                lambda m=mc: len(m.read_queue))
+                _ReadQueueProbe(mc))
             self.sampler.add_probe(
                 f"dram.{mc.name}.write_queue_occupancy",
-                lambda m=mc: len(m.write_queue))
+                _WriteQueueProbe(mc))
             # Percent scale so the integer-bucketed histogram resolves it.
             self.sampler.add_probe(
                 f"dram.{mc.name}.bus_utilization_pct",
-                lambda m=mc: 100.0 * m.channel.utilization(
-                    max(1, self.events.now)))
-        self.sampler.add_probe("mshr.occupancy",
-                               lambda: len(self.uncore.mshrs))
+                _BusUtilProbe(self, mc))
+        self.sampler.add_probe("mshr.occupancy", _MSHRProbe(self))
         self.sampler.start()
 
     def _core_finished(self, core: Core) -> None:
         self._finished += 1
 
-    def run(self, max_events: int = 200_000_000) -> "SimResult":
+    def run(self, max_events: int = 200_000_000,
+            checkpointer=None) -> "SimResult":
         for core in self.cores:
             core.start()
-        executed = 0
+        return self._run_loop(0, max_events, checkpointer)
+
+    def resume_run(self, executed: int = 0, max_events: int = 200_000_000,
+                   checkpointer=None) -> "SimResult":
+        """Continue a checkpoint-restored system to completion.
+
+        The cores are already started (their start events live in the
+        restored queue), so unlike :meth:`run` this only re-enters the
+        event loop. ``executed`` carries the restored event count so the
+        ``max_events`` guard spans the whole logical run.
+        """
+        return self._run_loop(executed, max_events, checkpointer)
+
+    def _run_loop(self, executed: int, max_events: int,
+                  checkpointer) -> "SimResult":
         num_cores = len(self.cores)
         step = self.events.step
+        if checkpointer is None and self._san_report is None:
+            # Tight path: unchanged from the plain simulator — no
+            # per-event probes when neither feature is active.
+            while self._finished < num_cores:
+                if not step():
+                    raise RuntimeError(
+                        f"deadlock: {self._finished}/{num_cores} cores "
+                        f"finished, event queue empty at t={self.events.now}")
+                executed += 1
+                if executed > max_events:
+                    raise RuntimeError("simulation exceeded max_events")
+            return self._collect()
+        events = self.events
+        report = self._san_report
+        last_now = events.now
         while self._finished < num_cores:
             if not step():
                 raise RuntimeError(
                     f"deadlock: {self._finished}/{num_cores} cores "
-                    f"finished, event queue empty at t={self.events.now}")
+                    f"finished, event queue empty at t={events.now}")
             executed += 1
             if executed > max_events:
                 raise RuntimeError("simulation exceeded max_events")
+            if report is not None:
+                now = events.now
+                if now < last_now:
+                    report.record(ProtocolViolation(
+                        rule="sim.time_regression", time=now,
+                        source="events",
+                        command=f"event at {now}",
+                        conflict=f"previous event at {last_now}"))
+                last_now = now
+            if checkpointer is not None:
+                checkpointer.maybe_save(self, executed)
         return self._collect()
 
     # ------------------------------------------------------------------
@@ -189,7 +302,32 @@ class SimulationSystem:
         )
         if self.telemetry is not None:
             self._export_telemetry(elapsed, result)
+        if self._san_report is not None:
+            self._finalize_sanitizer()
         return result
+
+    def _finalize_sanitizer(self) -> None:
+        """End-of-run conservation check + counter export.
+
+        Violations flow out-of-band (the process-wide report and
+        ``sanitizer.*`` session counters); the :class:`SimResult` itself
+        is untouched, so sanitized runs stay byte-identical to plain
+        ones.
+        """
+        if self._san_uncore is not None:
+            self._san_uncore.finalize(self.events.now,
+                                      queue_drained=len(self.events) == 0)
+        session = active_session()
+        if session is None:
+            return
+        session.incr("sanitizer.runs", 1)
+        before = self._san_counts_before or {}
+        for rule, count in self._san_report.counts.items():
+            delta = count - before.get(rule, 0)
+            if delta > 0:
+                session.incr(f"sanitizer.{rule}", delta)
+                session.incr("sanitizer.violations", delta)
+        self._san_counts_before = dict(self._san_report.counts)
 
     def _export_telemetry(self, elapsed: int, result: SimResult) -> None:
         """Flush end-of-run metrics into the run's registry."""

@@ -160,20 +160,45 @@ class NullCounter(Counter):
     def inc(self, n: int = 1) -> None:  # noqa: D102 - no-op by design
         pass
 
+    def __reduce__(self):
+        # Components compare their handles against the module singletons
+        # by identity (``is NULL_COUNTER``); pickling must round-trip to
+        # the same object, not a copy, or checkpoints would flip every
+        # "is telemetry attached?" check.
+        return (_null_counter, ())
+
 
 class NullGauge(Gauge):
     def set(self, value: float) -> None:
         pass
+
+    def __reduce__(self):
+        return (_null_gauge, ())
 
 
 class NullHistogram(Histogram):
     def observe(self, value: int) -> None:
         pass
 
+    def __reduce__(self):
+        return (_null_histogram, ())
+
 
 NULL_COUNTER = NullCounter("null")
 NULL_GAUGE = NullGauge("null")
 NULL_HISTOGRAM = NullHistogram("null")
+
+
+def _null_counter() -> NullCounter:
+    return NULL_COUNTER
+
+
+def _null_gauge() -> NullGauge:
+    return NULL_GAUGE
+
+
+def _null_histogram() -> NullHistogram:
+    return NULL_HISTOGRAM
 
 
 class MetricsRegistry:
@@ -241,5 +266,12 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name: str) -> Histogram:
         return NULL_HISTOGRAM
 
+    def __reduce__(self):
+        return (_null_registry, ())
+
 
 NULL_REGISTRY = NullRegistry()
+
+
+def _null_registry() -> NullRegistry:
+    return NULL_REGISTRY

@@ -142,8 +142,18 @@ class NullTracer(ChromeTracer):
     def record_request(self, req, track: str) -> None:
         pass
 
+    def __reduce__(self):
+        # Identity checks (``tracer is NULL_TRACER``) gate the tracing
+        # hot path; a checkpointed system must round-trip to the shared
+        # singleton rather than a copy.
+        return (_null_tracer, ())
+
 
 NULL_TRACER = NullTracer()
+
+
+def _null_tracer() -> NullTracer:
+    return NULL_TRACER
 
 
 def merge_traces(tracers) -> dict:

@@ -1,0 +1,295 @@
+"""Crash-safe checkpoint/resume: format, quarantine, determinism.
+
+The load-bearing guarantee: a run that dies mid-flight and resumes from
+its last snapshot produces a :class:`SimResult` byte-identical to the
+uninterrupted run — verified here in-process (manual save + resume),
+through ``execute_spec`` (serial), and end-to-end through the parallel
+executor with an injected ``ckptkill`` fault (the worker hard-exits
+right after a snapshot lands; the retry resumes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.resilience import FaultPlan
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.specs import RunSpec, execute_spec
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    Checkpointer,
+    checkpoint_every,
+    checkpoint_path,
+    load_checkpoint,
+    read_header,
+    run_benchmark_checkpointed,
+)
+from repro.sim.config import SimConfig
+from repro.sim.system import SimulationSystem, prewarm_l2, run_benchmark
+from repro.workloads.registry import create_workload
+
+READS = 1200
+EVERY = 400
+
+
+def result_bytes(result) -> str:
+    return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+
+def fresh_system(benchmark: str, config: SimConfig) -> SimulationSystem:
+    """Mirror run_benchmark's setup with picklable (materialized) traces."""
+    source = create_workload(benchmark)
+    traces = [list(stream) for stream in source.streams(config)]
+    system = SimulationSystem(config, traces, profile=source.profile)
+    if source.profile is not None:
+        prewarm_l2(system, source.profile)
+    return system
+
+
+@pytest.fixture()
+def sim_config():
+    return SimConfig(memory="rl", target_dram_reads=READS, seed=42)
+
+
+@pytest.fixture()
+def baseline(sim_config):
+    return result_bytes(run_benchmark("mcf", sim_config))
+
+
+# ---------------------------------------------------------------------------
+# Format plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_path_is_deterministic(tmp_path):
+    a = checkpoint_path(tmp_path, "v8|mcf|rl|...")
+    b = checkpoint_path(tmp_path, "v8|mcf|rl|...")
+    assert a == b and a.name.startswith("ck-") and a.suffix == ".ckpt"
+    assert a != checkpoint_path(tmp_path, "v8|mcf|ddr3|...")
+
+
+def test_checkpoint_every_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+    assert checkpoint_every() == 1000
+    monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "250")
+    assert checkpoint_every() == 250
+    monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "-3")
+    assert checkpoint_every() == 1  # clamped to at least one read
+    monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "soon")
+    with pytest.raises(ValueError, match="REPRO_CHECKPOINT_EVERY"):
+        checkpoint_every()
+
+
+# ---------------------------------------------------------------------------
+# Save / load roundtrip and resume determinism
+# ---------------------------------------------------------------------------
+
+
+def test_midrun_snapshot_resumes_byte_identical(tmp_path, sim_config,
+                                                baseline):
+    path = tmp_path / "mid.ckpt"
+    system = fresh_system("mcf", sim_config)
+    ckpt = Checkpointer(path, "key-1", benchmark="mcf", every_reads=EVERY)
+    uninterrupted = system.run(checkpointer=ckpt)
+    assert ckpt.saves >= 2
+    uninterrupted.benchmark = "mcf"  # run() leaves the label to callers
+    assert result_bytes(uninterrupted) == baseline
+
+    header = read_header(path)
+    assert header["version"] == CHECKPOINT_VERSION
+    assert header["cache_key"] == "key-1"
+    assert header["benchmark"] == "mcf"
+    assert 0 < header["reads"] < READS
+
+    restored, executed, loaded_header = load_checkpoint(
+        path, expect_cache_key="key-1")
+    assert loaded_header == header
+    resumed = restored.resume_run(executed=executed)
+    resumed.benchmark = "mcf"
+    assert result_bytes(resumed) == baseline
+
+
+def test_unpicklable_state_disables_checkpointer(tmp_path, sim_config,
+                                                 baseline):
+    system = fresh_system("mcf", sim_config)
+    system._poison = lambda: None  # lambdas cannot pickle
+    ckpt = Checkpointer(tmp_path / "never.ckpt", "key", every_reads=EVERY)
+    result = system.run(checkpointer=ckpt)
+    result.benchmark = "mcf"
+    assert result_bytes(result) == baseline  # the run itself is unharmed
+    assert ckpt.disabled and ckpt.saves == 0
+    assert "lambda" in (ckpt.last_error or "").lower() \
+        or "pickle" in (ckpt.last_error or "").lower()
+    assert not (tmp_path / "never.ckpt").exists()
+
+
+# ---------------------------------------------------------------------------
+# Validation failures quarantine the file
+# ---------------------------------------------------------------------------
+
+
+def _valid_checkpoint(tmp_path, sim_config) -> str:
+    path = tmp_path / "victim.ckpt"
+    system = fresh_system("mcf", sim_config)
+    Checkpointer(path, "key-1", benchmark="mcf",
+                 every_reads=EVERY).save(system, executed=0)
+    return path
+
+
+def _assert_quarantined(path, match):
+    with pytest.raises(CheckpointError, match=match):
+        load_checkpoint(path, expect_cache_key="key-1")
+    assert not path.exists()
+    corrupt = path.with_suffix(path.suffix + ".corrupt")
+    assert corrupt.exists()
+    corrupt.unlink()
+
+
+def test_garbage_header_quarantines(tmp_path, sim_config):
+    path = _valid_checkpoint(tmp_path, sim_config)
+    path.write_bytes(b"\xff\xfe not json\n rest")
+    _assert_quarantined(path, "unreadable header")
+
+
+def test_truncated_payload_quarantines(tmp_path, sim_config):
+    path = _valid_checkpoint(tmp_path, sim_config)
+    path.write_bytes(path.read_bytes()[:-200])
+    _assert_quarantined(path, "truncated")
+
+
+def test_flipped_payload_bit_quarantines(tmp_path, sim_config):
+    path = _valid_checkpoint(tmp_path, sim_config)
+    blob = bytearray(path.read_bytes())
+    blob[-10] ^= 0x40
+    path.write_bytes(bytes(blob))
+    _assert_quarantined(path, "sha256 mismatch")
+
+
+def test_version_mismatch_quarantines(tmp_path, sim_config):
+    path = _valid_checkpoint(tmp_path, sim_config)
+    header_line, _, payload = path.read_bytes().partition(b"\n")
+    header = json.loads(header_line)
+    header["version"] = CHECKPOINT_VERSION + 1
+    path.write_bytes(json.dumps(header).encode() + b"\n" + payload)
+    _assert_quarantined(path, "version")
+
+
+def test_cache_key_mismatch_quarantines(tmp_path, sim_config):
+    path = _valid_checkpoint(tmp_path, sim_config)
+    with pytest.raises(CheckpointError, match="cache key mismatch"):
+        load_checkpoint(path, expect_cache_key="some-other-spec")
+    assert path.with_suffix(".ckpt.corrupt").exists()
+
+
+# ---------------------------------------------------------------------------
+# run_benchmark_checkpointed
+# ---------------------------------------------------------------------------
+
+
+def test_checkpointed_run_matches_plain_and_cleans_up(tmp_path, sim_config,
+                                                      baseline):
+    result = run_benchmark_checkpointed(
+        "mcf", sim_config, "key-1", tmp_path, every_reads=EVERY)
+    assert result_bytes(result) == baseline
+    assert list(tmp_path.iterdir()) == []  # checkpoint deleted on success
+
+
+def test_resume_from_orphaned_checkpoint(tmp_path, sim_config, baseline):
+    # Orphan a mid-run snapshot, as a killed worker would.
+    path = checkpoint_path(tmp_path, "key-1")
+    system = fresh_system("mcf", sim_config)
+    ckpt = Checkpointer(path, "key-1", benchmark="mcf", every_reads=EVERY,
+                        first_mark=EVERY)
+    for core in system.cores:
+        core.start()
+    executed = 0
+    while system.uncore.dram_reads < EVERY + 50:
+        assert system.events.step()
+        executed += 1
+        ckpt.maybe_save(system, executed)
+    assert ckpt.saves >= 1 and path.exists()
+
+    result = run_benchmark_checkpointed(
+        "mcf", sim_config, "key-1", tmp_path, every_reads=EVERY)
+    assert result_bytes(result) == baseline
+    assert not path.exists()
+
+
+def test_corrupt_checkpoint_falls_back_to_fresh_run(tmp_path, sim_config,
+                                                    baseline):
+    path = checkpoint_path(tmp_path, "key-1")
+    path.write_bytes(b"torn write, no header")
+    result = run_benchmark_checkpointed(
+        "mcf", sim_config, "key-1", tmp_path, every_reads=EVERY)
+    assert result_bytes(result) == baseline
+    assert path.with_suffix(".ckpt.corrupt").exists()  # evidence kept
+
+
+def test_active_telemetry_session_falls_back_to_plain_run(tmp_path,
+                                                          sim_config,
+                                                          baseline):
+    from repro.telemetry.session import TelemetrySession, activate, deactivate
+
+    activate(TelemetrySession())
+    try:
+        result = run_benchmark_checkpointed(
+            "mcf", sim_config, "key-1", tmp_path, every_reads=EVERY)
+    finally:
+        deactivate()
+    # Instrumented runs carry a telemetry blob; the simulation itself
+    # must still match the baseline field for field.
+    fields = dataclasses.asdict(result)
+    fields.pop("telemetry", None)
+    expected = json.loads(baseline)
+    expected.pop("telemetry", None)
+    assert json.dumps(fields, sort_keys=True) == json.dumps(
+        expected, sort_keys=True)
+    assert list(tmp_path.iterdir()) == []  # never checkpointed
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: execute_spec and the retry path
+# ---------------------------------------------------------------------------
+
+
+def test_execute_spec_checkpoints_when_configured(tmp_path, baseline):
+    spec = RunSpec("mcf", "rl")
+    config = ExperimentConfig(target_dram_reads=READS, cache_dir=None,
+                              checkpoint_dir=str(tmp_path),
+                              checkpoint_every=EVERY)
+    result = execute_spec(spec, config)
+    assert result_bytes(result) == baseline
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_kill_after_saves_parsing():
+    plan = FaultPlan.parse("a/b=ckptkill;c/d=ckptkill:2:3;e/f=crash")
+    assert plan.kill_after_saves("a/b", 1) == 1     # default ordinal
+    assert plan.kill_after_saves("c/d", 1) == 3
+    assert plan.kill_after_saves("c/d", 2) == 3     # times=2: both attempts
+    assert plan.kill_after_saves("c/d", 3) is None  # budget exhausted
+    assert plan.kill_after_saves("e/f", 1) is None  # wrong mode
+    assert plan.kill_after_saves("x/y", 1) is None  # unplanned spec
+
+
+def test_ckptkill_worker_resumes_byte_identical(tmp_path, baseline,
+                                                monkeypatch):
+    """End-to-end: the worker dies right after its first snapshot lands
+    (a genuine BrokenProcessPool), the retry resumes from the checkpoint,
+    and the delivered result is byte-identical to an uninterrupted run."""
+    from repro.experiments.executor import ParallelExecutor
+
+    spec = RunSpec("mcf", "rl")
+    config = ExperimentConfig(target_dram_reads=READS, cache_dir=None,
+                              checkpoint_dir=str(tmp_path),
+                              checkpoint_every=EVERY, retries=2, jobs=2)
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "mcf/rl=ckptkill")
+    executor = ParallelExecutor(config, jobs=2)
+    results = executor.run([spec])
+    assert executor.counters.get("resilience.failures.broken-pool") == 1
+    assert result_bytes(results[spec]) == baseline
+    assert list(tmp_path.iterdir()) == []
