@@ -162,6 +162,9 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["checkpoint_dir"] = args.checkpoint_dir
     if getattr(args, "checkpoint_every", None) is not None:
         kwargs["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "cache_budget", None):
+        from repro.store import parse_size
+        kwargs["cache_budget_bytes"] = parse_size(args.cache_budget)
     if kwargs:
         from dataclasses import replace
         config = replace(config, **kwargs)
@@ -716,6 +719,15 @@ def cmd_serve(argv: List[str]) -> int:
                         help="default benchmark subset (jobs may override)")
     parser.add_argument("--cache", default=None,
                         help="result-cache directory, or 'off'")
+    parser.add_argument("--cache-budget", default=None, metavar="SIZE",
+                        help="byte budget for the result-cache store "
+                             "(e.g. 64M); past it the least-recently-"
+                             "used entries are evicted and recomputed "
+                             "on demand")
+    parser.add_argument("--manifest-budget", default=None, metavar="SIZE",
+                        help="byte budget for the job-manifest directory; "
+                             "terminal jobs are LRU-evicted past it "
+                             "(queued/running jobs are never touched)")
     parser.add_argument("--state-dir", default=None, metavar="DIR",
                         help="job-manifest directory (default .repro_jobs); "
                              "queued/running jobs found here are resumed")
@@ -739,8 +751,16 @@ def cmd_serve(argv: List[str]) -> int:
     from repro.service import JobScheduler, JobStore, make_server, serve_until_signal
     from repro.service.store import DEFAULT_STATE_DIR
 
-    config = make_config(args)
-    store = JobStore(args.state_dir or DEFAULT_STATE_DIR)
+    from repro.store import parse_size
+
+    try:
+        config = make_config(args)  # parses --cache-budget
+        manifest_budget = parse_size(args.manifest_budget)
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    store = JobStore(args.state_dir or DEFAULT_STATE_DIR,
+                     budget_bytes=manifest_budget)
     # Paused and without recovery until the port is bound: a server that
     # loses the bind race must exit without having touched job state.
     scheduler = JobScheduler(config, store=store, jobs=args.jobs,
@@ -940,6 +960,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_submit(argv[1:])
     if argv and argv[0] == "status":
         return cmd_status(argv[1:])
+    if argv and argv[0] == "store":
+        from repro.store.cli import cmd_store
+        return cmd_store(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for key in ALL_EXPERIMENTS:
@@ -963,7 +986,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # One scheduler pass over the union of every requested figure's
         # specs: shared baselines run once, in parallel when jobs > 1.
         executor = ParallelExecutor(config, progress=True)
-        suite_start = time.time()
+        suite_start = time.perf_counter()
         try:
             results = executor.run(suite_specs(keys, config))
         except SuiteError as exc:
@@ -973,7 +996,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         for key in keys:
-            start = time.time()
+            start = time.perf_counter()
             table = ALL_EXPERIMENTS[key](config, results=results)
             tables.append(table)
             if args.json:
@@ -984,7 +1007,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 text = table.format()
             print(text)
             if not args.json:
-                print(f"[{key} took {time.time() - start:.1f}s]\n")
+                print(f"[{key} took {time.perf_counter() - start:.1f}s]\n")
             if args.output:
                 with open(args.output, "a") as handle:
                     handle.write(text + "\n\n")
@@ -999,7 +1022,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _json.dump({
                 "jobs": executor.jobs,
                 "experiments": keys,
-                "total_wall_s": round(time.time() - suite_start, 3),
+                "total_wall_s": round(time.perf_counter() - suite_start, 3),
                 "specs": executor.timings,
             }, handle, indent=1)
         print(f"wrote per-spec timings to {args.timings_json}",

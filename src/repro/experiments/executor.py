@@ -114,7 +114,9 @@ def _worker_execute(spec: RunSpec, config, telemetry_opts: Optional[dict],
         if session is not None:
             deactivate()
     if is_valid_result(result):
-        ResultCache(config.cache_dir).put(spec_cache_key(spec, config), result)
+        ResultCache(config.cache_dir,
+                    budget_bytes=getattr(config, "cache_budget_bytes", None)
+                    ).put(spec_cache_key(spec, config), result)
     runs: List[dict] = session.runs if session is not None else []
     trace_events: List[dict] = []
     if session is not None:
@@ -153,7 +155,9 @@ class ParallelExecutor:
         self.persistent = persistent
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self.progress = progress
-        self.cache = ResultCache(config.cache_dir)
+        self.cache = ResultCache(
+            config.cache_dir,
+            budget_bytes=getattr(config, "cache_budget_bytes", None))
         self.timings: List[dict] = []
         self.policy = policy if policy is not None else RetryPolicy(
             max_retries=getattr(config, "retries", 0) or 0,
@@ -208,8 +212,13 @@ class ParallelExecutor:
                               or {}).values()):
                 try:
                     proc.terminate()
-                except (OSError, AttributeError):
-                    pass
+                except (OSError, AttributeError) as exc:
+                    # A worker we cannot terminate may outlive the
+                    # suite — say so instead of swallowing the error.
+                    self._count("resilience.terminate_errors")
+                    print(f"[executor] could not terminate worker "
+                          f"{getattr(proc, 'pid', '?')}: {exc}",
+                          file=sys.stderr)
         self._pool.shutdown(wait=True, cancel_futures=True)
         self._pool = None
 
@@ -476,7 +485,14 @@ class ParallelExecutor:
         start = time.perf_counter()
         try:
             result = execute_spec(spec, config, attempt=0)
-        except Exception:
+        except Exception as exc:
+            # The degraded path is the last line of defence; its own
+            # failure must be visible in counters and on stderr, not
+            # silently folded into the original failure's record.
+            self._count("resilience.degraded_failures")
+            print(f"[executor] degraded serial run for {spec.label} "
+                  f"failed too: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
             return False
         if not is_valid_result(result):
             return False

@@ -12,19 +12,18 @@ single-run convenience wrapper over the same cache.
 
 from __future__ import annotations
 
-import contextlib
 import dataclasses
-import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.resilience import MISSING
 from repro.experiments.specs import RunSpec, execute_spec, spec_cache_key
 from repro.sim.config import SimConfig
 from repro.sim.system import SimResult
+from repro.store import ArtifactStore, key_digest, parse_size, quarantine_file
 from repro.telemetry.session import active_session
 from repro.workloads.profiles import benchmark_names
 
@@ -59,6 +58,11 @@ class ExperimentConfig:
     # byte-identical to an uninterrupted one.
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 0
+    # Result-store byte budget (see repro.store): when set, the cache
+    # LRU-evicts past it after writes — an evicted entry is recomputed
+    # on the next request, never an error. None = unbounded (the
+    # pre-store behaviour). Does not affect cache keys.
+    cache_budget_bytes: Optional[int] = None
 
     def suite(self) -> List[str]:
         return list(self.benchmarks) if self.benchmarks else benchmark_names()
@@ -95,6 +99,13 @@ def default_config() -> ExperimentConfig:
     cache = os.environ.get("REPRO_CACHE", ".repro_cache")
     keep_going = os.environ.get("REPRO_KEEP_GOING", "").strip().lower()
     ckpt_dir = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+    try:
+        budget = parse_size(os.environ.get("REPRO_CACHE_BUDGET"))
+    except ValueError:
+        raise ValueError(
+            "REPRO_CACHE_BUDGET must be a byte count with an optional "
+            f"K/M/G suffix, got {os.environ['REPRO_CACHE_BUDGET']!r}; "
+            "unset it for an unbounded cache") from None
     return ExperimentConfig(
         target_dram_reads=reads,
         benchmarks=benches,
@@ -103,25 +114,42 @@ def default_config() -> ExperimentConfig:
         timeout_s=_env_number("REPRO_TIMEOUT", None, float),
         keep_going=keep_going in ("1", "true", "yes", "on"),
         checkpoint_dir=ckpt_dir or None,
-        checkpoint_every=_env_number("REPRO_CHECKPOINT_EVERY", 0, int))
+        checkpoint_every=_env_number("REPRO_CHECKPOINT_EVERY", 0, int),
+        cache_budget_bytes=budget)
 
 
 class ResultCache:
-    """Disk cache of :class:`SimResult` records, safe for concurrent
-    writers.
+    """Disk cache of :class:`SimResult` records on the artifact store.
 
-    ``put`` serializes to a sibling temp file and ``os.replace``s it
-    into place, so a reader (or a concurrently restarted writer) never
-    observes a torn entry; a per-entry advisory ``flock`` (where the
-    platform provides ``fcntl``) additionally serialises writers of the
-    same key so parallel suite runs sharing a cache directory don't
-    interleave replace cycles.
+    Entries live in a content-addressed
+    :class:`~repro.store.ArtifactStore` tier (``results``): a
+    ``index/<keydigest>.json`` key→digest record pointing at a
+    sha256-named blob, all written through the shared atomic+durable
+    path with a per-key advisory ``flock``, so concurrent suite runs
+    sharing a cache directory never observe a torn entry. Payload
+    digests are re-verified on every read; bit rot is quarantined as
+    ``<file>.corrupt``, never returned.
+
+    The pre-store flat layout (``<keydigest>.json`` at the directory
+    root, cache-key versions ≤ v8) keeps resolving: a flat entry found
+    on a miss is validated, migrated into the store, and served as a
+    hit — no recompute, no flag day.
+
+    With ``budget_bytes`` set the tier is size-bounded: writes past the
+    budget LRU-evict the least-recently-accessed unpinned entries (the
+    access journal, not mtime, orders them). An evicted entry reads as
+    a clean miss and is recomputed byte-identically — parallel/serial/
+    resume determinism guarantees survive eviction by construction.
     """
 
-    def __init__(self, directory: Optional[str]) -> None:
+    def __init__(self, directory: Optional[str],
+                 budget_bytes: Optional[int] = None) -> None:
         self.directory = Path(directory) if directory else None
+        self.store: Optional[ArtifactStore] = None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self.store = ArtifactStore(self.directory, tier="results",
+                                       budget_bytes=budget_bytes)
         # Per-instance traffic counters, exposed via stats(); the
         # quarantine event is additionally mirrored into any active
         # telemetry session (legacy cache.quarantined counter).
@@ -134,76 +162,113 @@ class ResultCache:
         return {"directory": str(self.directory) if self.directory else None,
                 **self.counters}
 
+    def store_stats(self) -> Optional[Dict[str, object]]:
+        """Underlying artifact-store tier stats (entries/bytes/budget/
+        evictions), or None for a disabled cache."""
+        return self.store.stats() if self.store is not None else None
+
     def _path(self, key: str) -> Optional[Path]:
+        """The on-disk index entry for ``key`` (None if caching is off)."""
+        if self.store is None:
+            return None
+        return self.store.index_path(key)
+
+    def _legacy_path(self, key: str) -> Optional[Path]:
+        """Where the pre-store flat layout kept this key's entry."""
         if self.directory is None:
             return None
-        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
-        return self.directory / f"{digest}.json"
-
-    @contextlib.contextmanager
-    def _entry_lock(self, path: Path):
-        try:
-            import fcntl
-        except ImportError:  # pragma: no cover - non-POSIX platforms
-            yield
-            return
-        lock_path = path.with_suffix(".lock")
-        with open(lock_path, "w") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
+        return self.directory / f"{key_digest(key)}.json"
 
     def contains(self, key: str) -> bool:
         """Cheap existence probe (no read, no counters): does an entry
         for ``key`` sit on disk? Used by the service scheduler to count
         cache coalescing without paying a JSON load per submit."""
-        path = self._path(key)
-        return path is not None and path.exists()
+        if self.store is None:
+            return False
+        legacy = self._legacy_path(key)
+        return self.store.contains(key) or (legacy is not None
+                                            and legacy.exists())
 
     def get(self, key: str) -> Optional[SimResult]:
         """Recall a cached result; corruption quarantines the entry.
 
-        Truncated files, non-JSON bytes, non-dict payloads, and schema
-        drift (unexpected or missing fields) all return None — but the
-        offending file is renamed to ``<entry>.corrupt`` first (and
-        counted in telemetry as ``cache.quarantined``) so the evidence
-        survives for a post-mortem instead of being silently
-        re-clobbered by the re-run's :meth:`put`. An entry whose
-        embedded key merely differs (digest collision) stays put and
-        reads as a plain miss.
+        Truncated files, non-JSON bytes, digest mismatches, non-dict
+        payloads, and schema drift all return None — but the offending
+        file is renamed to ``<entry>.corrupt`` first (and counted in
+        telemetry as ``cache.quarantined``) so the evidence survives
+        for a post-mortem instead of being silently re-clobbered by the
+        re-run's :meth:`put`. An evicted or never-written entry is a
+        plain miss; a flat legacy entry is migrated into the store and
+        served as a hit.
         """
-        path = self._path(key)
+        if self.store is None:
+            self.counters["misses"] += 1
+            return None
+        quarantined_before = self.store.counters["quarantined"]
+        raw = self.store.get_bytes(key)
+        if raw is None:
+            if self.store.counters["quarantined"] > quarantined_before:
+                return self._count_quarantine()
+            return self._get_legacy(key)
+        result = self._parse(key, raw)
+        if result is None:
+            # Readable bytes, wrong shape: schema drift. Quarantine the
+            # blob (the evidence) and drop the index entry.
+            record = self.store._read_index(key)
+            if record is not None:
+                self.store._quarantine(self.store.blob_path(record["digest"]))
+            self.store.delete(key)
+            return self._count_quarantine()
+        self.counters["hits"] += 1
+        return result
+
+    def _parse(self, key: str, raw: bytes) -> Optional[SimResult]:
+        """Bytes → SimResult; None for any shape this version can't use."""
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("__key__") != key:
+            return None
+        data.pop("__key__", None)
+        try:
+            return SimResult(**data)
+        except (TypeError, ValueError):
+            return None
+
+    def _get_legacy(self, key: str) -> Optional[SimResult]:
+        """Resolve (and migrate) a pre-store flat-layout entry."""
+        path = self._legacy_path(key)
         if path is None or not path.exists():
             self.counters["misses"] += 1
             return None
         try:
-            data = json.loads(path.read_text())
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            return self._quarantine(path)
+            raw = path.read_bytes()
         except OSError:
             self.counters["misses"] += 1
             return None
-        if not isinstance(data, dict):
-            return self._quarantine(path)
-        if data.get("__key__") != key:
-            self.counters["misses"] += 1
-            return None
-        data.pop("__key__", None)
         try:
-            result = SimResult(**data)
-        except (TypeError, ValueError):
-            return self._quarantine(path)
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            quarantine_file(path)
+            return self._count_quarantine()
+        if not isinstance(data, dict):
+            quarantine_file(path)
+            return self._count_quarantine()
+        if data.get("__key__") != key:
+            self.counters["misses"] += 1  # digest collision: not ours
+            return None
+        result = self._parse(key, raw)
+        if result is None:
+            quarantine_file(path)
+            return self._count_quarantine()
+        # Migrate: same bytes, new home; the flat file retires.
+        self.store.put_bytes(key, raw)
+        path.unlink(missing_ok=True)
         self.counters["hits"] += 1
         return result
 
-    def _quarantine(self, path: Path) -> None:
-        """Set a corrupt entry aside as ``<entry>.corrupt``."""
-        try:
-            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
-        except OSError:  # pragma: no cover - raced or read-only cache
-            pass
+    def _count_quarantine(self) -> None:
         self.counters["quarantined"] += 1
         session = active_session()
         if session is not None:
@@ -211,29 +276,29 @@ class ResultCache:
         return None
 
     def put(self, key: str, result: SimResult) -> None:
-        path = self._path(key)
-        if path is None:
+        if self.store is None:
             return
         self.counters["writes"] += 1
         data = dataclasses.asdict(result)
         data["__key__"] = key
-        payload = json.dumps(data)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        with self._entry_lock(path):
-            try:
-                tmp.write_text(payload)
-                os.replace(tmp, path)
-            finally:
-                tmp.unlink(missing_ok=True)
+        self.store.put_bytes(key, json.dumps(data).encode())
+
+    def gc(self, max_bytes: Optional[int] = None,
+           dry_run: bool = False) -> Optional[dict]:
+        """Run the store tier's gc (see :meth:`ArtifactStore.gc`)."""
+        if self.store is None:
+            return None
+        return self.store.gc(max_bytes=max_bytes, dry_run=dry_run)
 
 
-_caches: Dict[str, ResultCache] = {}
+_caches: Dict[Tuple[str, Optional[int]], ResultCache] = {}
 
 
 def _cache_for(config: ExperimentConfig) -> ResultCache:
-    key = config.cache_dir or "__off__"
+    budget = getattr(config, "cache_budget_bytes", None)
+    key = (config.cache_dir or "__off__", budget)
     if key not in _caches:
-        _caches[key] = ResultCache(config.cache_dir)
+        _caches[key] = ResultCache(config.cache_dir, budget_bytes=budget)
     return _caches[key]
 
 

@@ -11,9 +11,42 @@ import json
 import time
 import urllib.error
 import urllib.request
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 from typing import Optional, Tuple
 
 DEFAULT_URL = "http://127.0.0.1:8787"
+
+#: Ceiling on the *cumulative* time submit() spends honouring 429
+#: Retry-After answers. Without it a server replying with a far-future
+#: HTTP-date (or a huge delta-seconds) would park the client for hours.
+DEFAULT_MAX_RETRY_WAIT_S = 120.0
+
+
+def parse_retry_after(value: object, fallback_s: float) -> float:
+    """``Retry-After`` → seconds to wait; ``fallback_s`` if unparsable.
+
+    RFC 9110 allows two forms: delta-seconds (``"3"``) and an HTTP-date
+    (``"Wed, 21 Oct 2026 07:28:00 GMT"``). The old client fed the raw
+    header to ``float()``, so every HTTP-date answer raised ValueError
+    and was silently replaced by the fixed backoff — the server's
+    requested pacing never applied. A date in the past means "now"
+    (0 s), never a negative sleep.
+    """
+    if value is None:
+        return fallback_s
+    text = str(value).strip()
+    try:
+        return max(0.0, float(text))
+    except ValueError:
+        pass
+    try:
+        when = parsedate_to_datetime(text)
+    except (TypeError, ValueError, IndexError):
+        return fallback_s
+    if when.tzinfo is None:  # naive HTTP-date: RFC says GMT
+        when = when.replace(tzinfo=timezone.utc)
+    return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
 
 
 class ServiceError(RuntimeError):
@@ -66,20 +99,30 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def submit(self, request: dict, retries: int = 0,
-               backoff_s: float = 1.0) -> dict:
-        """POST a job; on 429 honour ``Retry-After`` up to ``retries``."""
+               backoff_s: float = 1.0,
+               max_wait_s: float = DEFAULT_MAX_RETRY_WAIT_S) -> dict:
+        """POST a job; on 429 honour ``Retry-After`` up to ``retries``.
+
+        Both RFC 9110 ``Retry-After`` forms are understood — delta-
+        seconds and HTTP-date — and the cumulative sleep across all
+        retries is capped at ``max_wait_s``, so a pathological header
+        can delay a submit, never park it indefinitely.
+        """
         attempt = 0
+        waited_s = 0.0
         while True:
             status, body, headers = self._request("POST", "/v1/jobs", request)
             if status < 400:
                 return body
             if status == 429 and attempt < retries:
                 attempt += 1
-                try:
-                    wait_s = float(headers.get("Retry-After", backoff_s))
-                except (TypeError, ValueError):
-                    wait_s = backoff_s
-                time.sleep(max(0.05, wait_s))
+                wait_s = parse_retry_after(headers.get("Retry-After"),
+                                           backoff_s)
+                wait_s = max(0.05, min(wait_s, max_wait_s - waited_s))
+                if waited_s + wait_s > max_wait_s:
+                    raise ServiceError(status, body)
+                waited_s += wait_s
+                time.sleep(wait_s)
                 continue
             raise ServiceError(status, body)
 

@@ -251,13 +251,25 @@ class JobScheduler:
         cache = {f"cache.{name}": value
                  for name, value in sorted(cache_stats.items())
                  if name != "directory"}
+        # Artifact-store tiers (results CAS + manifest FileStore):
+        # entries/bytes/budget plus hit/miss/evict/quarantine counters,
+        # flattened as store.<tier>.<name>.
+        store: Dict[str, object] = {}
+        for tier_stats in (self.executor.cache.store_stats(),
+                           self.store.store_stats()):
+            if not tier_stats:
+                continue
+            tier = tier_stats["tier"]
+            store.update({f"store.{tier}.{name}": value
+                          for name, value in sorted(tier_stats.items())
+                          if name not in ("tier", "directory")})
         return {
             "uptime_s": health["uptime_s"],
             "queue_depth": health["queue_depth"],
             "queue_limit": health["queue_limit"],
             "jobs": health["jobs"],
             "workers": self.executor.jobs,
-            **service, **executor, **cache,
+            **service, **executor, **cache, **store,
         }
 
     # ------------------------------------------------------------------
@@ -328,6 +340,22 @@ class JobScheduler:
             self.counters["simulated_specs"] += simulated
         for job in group:
             self._finish_job(job, config, results)
+        self._post_batch_gc()
+
+    def _post_batch_gc(self) -> None:
+        """Re-bound the budgeted tiers after a batch lands.
+
+        Worker puts auto-gc inside their own processes, but the parent's
+        usage estimate goes stale across a batch; one gc here keeps the
+        on-disk size honest at job granularity. Tiers without a budget
+        are left alone (gc would still sweep, but there is nothing to
+        bound and suite latency matters).
+        """
+        cache_store = self.executor.cache.store
+        if cache_store is not None and cache_store.budget_bytes is not None:
+            cache_store.gc()
+        if self.store.file_store.budget_bytes is not None:
+            self.store.gc()
 
     def _finish_job(self, job: Job, config,
                     results: Dict[RunSpec, object]) -> None:

@@ -1,15 +1,23 @@
 """Durable job manifests: the piece of the service that survives
 restarts.
 
-The :class:`JobStore` persists one JSON manifest per job (atomically,
-temp file + ``os.replace``, same discipline as
-:class:`~repro.experiments.runner.ResultCache`). Simulation *results*
-are not duplicated here — workers write them into the shared
+The :class:`JobStore` persists one JSON manifest per job through the
+shared artifact-store write path
+(:func:`~repro.store.atomic_write_bytes`: temp sibling + fsync +
+``os.replace`` + parent-dir fsync). Before that unification manifests
+were replaced without any fsync, so a power loss shortly after a
+"durable" save could surface a zero-length committed file that restart
+recovery then quarantined — silently dropping a queued job. Simulation
+*results* are not duplicated here — workers write them into the shared
 ``ResultCache`` keyed by v8 spec keys, so a restarted server reloads
 queued/running manifests, re-enqueues them, and the executor recalls
 every spec that already completed instead of recomputing it. Finished
 jobs keep their result rows and rendered table in the manifest so
 ``GET /v1/jobs/<id>`` answers without touching the cache.
+
+With ``budget_bytes`` set, :meth:`gc` bounds the directory by
+LRU-evicting *terminal* manifests (queued/running ones are pinned by
+state and never touched), oldest save first.
 """
 
 from __future__ import annotations
@@ -20,18 +28,34 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.service.jobs import TERMINAL_STATES, Job
+from repro.store import FileStore, atomic_write_bytes, quarantine_file
 from repro.telemetry.session import active_session
 
 DEFAULT_STATE_DIR = ".repro_jobs"
 
 
-class JobStore:
-    """Directory of ``<job-id>.json`` manifests with atomic writes."""
+def _manifest_pinned(path: Path) -> bool:
+    """Eviction must never touch a manifest still queued or running."""
+    try:
+        data = json.loads(path.read_text())
+        return (not isinstance(data, dict)
+                or data.get("state") not in TERMINAL_STATES)
+    except (OSError, ValueError):
+        return True  # unreadable: refuse to evict what we can't judge
 
-    def __init__(self, directory: str = DEFAULT_STATE_DIR) -> None:
+
+class JobStore:
+    """Directory of ``<job-id>.json`` manifests with durable writes."""
+
+    def __init__(self, directory: str = DEFAULT_STATE_DIR,
+                 budget_bytes: Optional[int] = None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.counters: Dict[str, int] = {"manifests_quarantined": 0}
+        self.file_store = FileStore(self.directory, "j-*.json",
+                                    tier="manifests",
+                                    budget_bytes=budget_bytes,
+                                    pinned_check=_manifest_pinned)
 
     def _path(self, job_id: str) -> Path:
         # Job ids are generated server-side (j-<hex>), but manifests are
@@ -41,13 +65,8 @@ class JobStore:
         return self.directory / f"{job_id}.json"
 
     def save(self, job: Job) -> None:
-        path = self._path(job.id)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        try:
-            tmp.write_text(json.dumps(job.to_dict(), default=str))
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        atomic_write_bytes(self._path(job.id),
+                           json.dumps(job.to_dict(), default=str).encode())
 
     def load(self, job_id: str) -> Optional[Job]:
         """Recall a manifest; corruption quarantines the file.
@@ -89,15 +108,20 @@ class JobStore:
         The renamed file no longer matches the ``j-*.json`` glob, so
         listings and recovery skip it naturally.
         """
-        try:
-            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
-        except OSError:  # pragma: no cover - raced or read-only dir
-            pass
+        quarantine_file(path)
         self.counters["manifests_quarantined"] += 1
         session = active_session()
         if session is not None:
             session.incr("service.manifests_quarantined")
         return None
+
+    def gc(self, max_bytes: Optional[int] = None,
+           dry_run: bool = False) -> dict:
+        """Bound the manifest directory (see :meth:`FileStore.gc`)."""
+        return self.file_store.gc(max_bytes=max_bytes, dry_run=dry_run)
+
+    def store_stats(self) -> dict:
+        return self.file_store.stats()
 
     def job_ids(self) -> List[str]:
         return sorted(p.stem for p in self.directory.glob("j-*.json"))

@@ -15,11 +15,15 @@ spec), progress counters, the process-wide request-id allocator position
 and a sha256 over the pickle payload so torn or bit-rotted files are
 detected before deserialisation.
 
-Snapshots are written atomically (temp file + ``os.replace``, the
-:class:`~repro.experiments.runner.ResultCache` discipline) every N
-simulated DRAM reads, so a crash leaves either the previous complete
-checkpoint or the new complete checkpoint — never a torn one. A
-checkpoint that fails validation on load is quarantined as
+Snapshots go through the shared artifact-store write path
+(:func:`~repro.store.atomic_write_bytes`: temp sibling + fsync +
+``os.replace`` + parent-dir fsync) every N simulated DRAM reads, so a
+crash — even a power loss — leaves either the previous complete
+checkpoint or the new complete checkpoint, never a torn one. While a
+run is snapshotting, a ``<file>.ckpt.pin`` sibling carrying the owning
+pid protects the checkpoint from ``repro store gc`` eviction; the pin
+dies with the file (and expires automatically if the process crashes).
+A checkpoint that fails validation on load is quarantined as
 ``<file>.corrupt`` and the run starts from scratch.
 
 Determinism: the snapshot captures the entire event-driven simulator —
@@ -40,6 +44,7 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.dram.request import request_id_allocator
+from repro.store import atomic_write_bytes, quarantine_file
 
 CHECKPOINT_VERSION = 1
 
@@ -74,7 +79,15 @@ def checkpoint_path(directory, cache_key: str) -> Path:
     return Path(directory) / f"ck-{digest}.ckpt"
 
 
+def checkpoint_pin_path(path) -> Path:
+    """The pid-carrying pin shielding an in-flight checkpoint from gc."""
+    path = Path(path)
+    return path.with_name(path.name + ".pin")
+
+
 def delete_checkpoint(path) -> None:
+    """Remove a checkpoint and its pin (a finished run leaves nothing)."""
+    checkpoint_pin_path(path).unlink(missing_ok=True)
     Path(path).unlink(missing_ok=True)
 
 
@@ -131,18 +144,16 @@ class Checkpointer:
             "payload_bytes": len(payload),
             "payload_sha256": hashlib.sha256(payload).hexdigest(),
         }
-        path = self.path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        try:
-            with open(tmp, "wb") as handle:
-                handle.write(json.dumps(header).encode() + b"\n")
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        atomic_write_bytes(self.path,
+                           json.dumps(header).encode() + b"\n" + payload)
+        if self.saves == 0:
+            # Pin on the first snapshot: gc must never evict a
+            # checkpoint whose run is still alive. The pin carries our
+            # pid, so it expires automatically if we crash.
+            try:
+                checkpoint_pin_path(self.path).write_text(str(os.getpid()))
+            except OSError:  # pragma: no cover - read-only directory
+                pass
         self.saves += 1
         if self.kill_after is not None and self.saves >= self.kill_after:
             os._exit(1)  # injected mid-flight death; checkpoint survives
@@ -150,10 +161,8 @@ class Checkpointer:
 
 
 def _quarantine(path: Path, reason: str) -> CheckpointError:
-    try:
-        os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
-    except OSError:  # pragma: no cover - raced or read-only directory
-        pass
+    quarantine_file(path)
+    checkpoint_pin_path(path).unlink(missing_ok=True)
     return CheckpointError(f"checkpoint {path}: {reason} (quarantined)")
 
 

@@ -1,0 +1,203 @@
+"""``repro store`` — gc/stats/verify for the on-disk artifact tiers.
+
+Usage::
+
+    repro store stats                     # every discoverable tier
+    repro store stats --json
+    repro store gc --max-bytes 64M        # bound every tier to 64 MiB
+    repro store gc --cache .repro_cache --max-bytes 16M --dry-run
+    repro store verify                    # end-to-end digest checks
+    repro store verify --repair           # quarantine what fails
+
+Tiers are discovered from the usual knobs — ``--cache`` (default
+``REPRO_CACHE`` or ``.repro_cache``), ``--jobs-dir`` (default
+``.repro_jobs``), ``--checkpoint-dir`` (default
+``REPRO_CHECKPOINT_DIR``) — and silently skipped when the directory
+does not exist. ``gc`` never touches pinned entries (in-flight
+checkpoints, queued/running job manifests); ``verify`` exits 1 when
+problems remain so CI can gate on store health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.store.atomic import format_size, parse_size
+from repro.store.cas import ArtifactStore, FileStore
+
+
+def _manifest_pinned(path: Path) -> bool:
+    """A queued/running job manifest must survive any gc."""
+    from repro.service.jobs import TERMINAL_STATES
+    try:
+        data = json.loads(path.read_text())
+        return (isinstance(data, dict)
+                and data.get("state") not in TERMINAL_STATES)
+    except (OSError, ValueError):
+        return True  # unreadable: refuse to evict what we can't judge
+
+
+def _manifest_problem(path: Path) -> Optional[str]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return f"unreadable manifest ({exc})"
+    if not isinstance(data, dict) or not data.get("id"):
+        return "manifest is not a job object"
+    return None
+
+
+def _checkpoint_problem(path: Path) -> Optional[str]:
+    import hashlib
+
+    from repro.sim.checkpoint import read_header
+    try:
+        header = read_header(path)
+        with open(path, "rb") as handle:
+            handle.readline()
+            payload = handle.read()
+    except (OSError, ValueError) as exc:
+        return f"unreadable header ({exc})"
+    if len(payload) != header.get("payload_bytes"):
+        return (f"payload truncated ({len(payload)} of "
+                f"{header.get('payload_bytes')} bytes)")
+    if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
+        return "payload sha256 mismatch"
+    return None
+
+
+def discover_tiers(cache_dir: Optional[str], jobs_dir: Optional[str],
+                   checkpoint_dir: Optional[str],
+                   budget: Optional[int] = None) -> List[object]:
+    """Stores for every tier whose directory exists (explicit or default)."""
+    explicit = cache_dir or jobs_dir or checkpoint_dir
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE") or ".repro_cache"
+    jobs_dir = jobs_dir or ".repro_jobs"
+    checkpoint_dir = (checkpoint_dir
+                      or os.environ.get("REPRO_CHECKPOINT_DIR") or "")
+    tiers: List[object] = []
+    if cache_dir.lower() != "off" and Path(cache_dir).is_dir():
+        tiers.append(ArtifactStore(cache_dir, tier="results",
+                                   budget_bytes=budget))
+    if jobs_dir and Path(jobs_dir).is_dir():
+        tiers.append(FileStore(jobs_dir, "j-*.json", tier="manifests",
+                               budget_bytes=budget,
+                               pinned_check=_manifest_pinned,
+                               validator=_manifest_problem))
+    if checkpoint_dir and Path(checkpoint_dir).is_dir():
+        tiers.append(FileStore(checkpoint_dir, "ck-*.ckpt",
+                               tier="checkpoints", budget_bytes=budget,
+                               validator=_checkpoint_problem))
+    if explicit and not tiers:
+        raise SystemExit(
+            f"repro store: no store found under the given director"
+            f"{'ies' if sum(bool(d) for d in (cache_dir, jobs_dir)) > 1 else 'y'}")
+    return tiers
+
+
+def _parse_common(prog: str, argv: List[str], extra=None
+                  ) -> Tuple[argparse.Namespace, List[object]]:
+    parser = argparse.ArgumentParser(prog=prog)
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="result-cache directory (default REPRO_CACHE "
+                             "or .repro_cache)")
+    parser.add_argument("--jobs-dir", default=None, metavar="DIR",
+                        help="job-manifest directory (default .repro_jobs)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint directory (default "
+                             "REPRO_CHECKPOINT_DIR)")
+    parser.add_argument("--json", action="store_true")
+    if extra:
+        extra(parser)
+    args = parser.parse_args(argv)
+    budget = parse_size(getattr(args, "max_bytes", None))
+    tiers = discover_tiers(args.cache, args.jobs_dir, args.checkpoint_dir,
+                           budget=budget)
+    return args, tiers
+
+
+def cmd_store(argv: List[str]) -> int:
+    if not argv or argv[0] not in ("stats", "gc", "verify"):
+        print("usage: repro store {stats|gc|verify} [--cache DIR] "
+              "[--jobs-dir DIR] [--checkpoint-dir DIR] ...",
+              file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "stats":
+        return _cmd_stats(rest)
+    if command == "gc":
+        return _cmd_gc(rest)
+    return _cmd_verify(rest)
+
+
+def _cmd_stats(argv: List[str]) -> int:
+    args, tiers = _parse_common("repro store stats", argv)
+    stats = [tier.stats() for tier in tiers]
+    if args.json:
+        print(json.dumps(stats, indent=1))
+        return 0
+    if not stats:
+        print("no artifact stores found (nothing cached yet?)")
+        return 0
+    for record in stats:
+        print(f"{record['tier']:<12} {record['directory']}: "
+              f"{record['entries']} entries, "
+              f"{format_size(record['bytes'])} "
+              f"(budget {format_size(record['budget_bytes'])}, "
+              f"{record['pinned']} pinned)")
+    return 0
+
+
+def _cmd_gc(argv: List[str]) -> int:
+    def extra(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--max-bytes", default=None, metavar="SIZE",
+                            help="per-tier byte budget (e.g. 64M); LRU-"
+                                 "evicts unpinned entries past it")
+        parser.add_argument("--dry-run", action="store_true",
+                            help="report what would be evicted, touch "
+                                 "nothing")
+
+    args, tiers = _parse_common("repro store gc", argv, extra)
+    reports = [tier.gc(dry_run=args.dry_run) for tier in tiers]
+    if args.json:
+        print(json.dumps(reports, indent=1))
+        return 0
+    for report in reports:
+        verb = "would evict" if args.dry_run else "evicted"
+        print(f"{report['tier']:<12} {format_size(report['bytes_before'])} "
+              f"-> {format_size(report['bytes_after'])} "
+              f"(budget {format_size(report['budget'])}); "
+              f"{verb} {len(report['evicted'])} of "
+              f"{report['entries_before']} entries, "
+              f"{report['pinned_kept']} pinned kept")
+    return 0
+
+
+def _cmd_verify(argv: List[str]) -> int:
+    def extra(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--repair", action="store_true",
+                            help="quarantine failing entries so the next "
+                                 "run recomputes them cleanly")
+
+    args, tiers = _parse_common("repro store verify", argv, extra)
+    total = 0
+    payload = []
+    for tier in tiers:
+        problems = tier.verify(repair=args.repair)
+        total += len(problems)
+        payload.append({"tier": tier.tier,
+                        "directory": str(tier.directory),
+                        "problems": problems})
+        if not args.json:
+            status = "ok" if not problems else f"{len(problems)} problem(s)"
+            print(f"{tier.tier:<12} {tier.directory}: {status}")
+            for problem in problems:
+                print(f"  {problem}")
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    return 1 if total else 0

@@ -116,9 +116,23 @@ class Histogram(Metric):
         return (1 << (index - 1), (1 << index) - 1)
 
     def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (0 < p <= 100)."""
+        """Approximate p-th percentile, defined at every edge.
+
+        An empty histogram answers 0.0 for any ``p``; ``p <= 0``
+        answers the exact tracked minimum and ``p >= 100`` the exact
+        tracked maximum (both are stored precisely, so the edges are
+        not subject to bucket approximation). Interior percentiles
+        interpolate linearly inside the crossing bucket, clamped to
+        the observed [min, max] — comparisons are explicit ``is not
+        None`` checks, so a legitimate minimum of 0 clamps too
+        (``self.min or lo`` used to discard it as falsy).
+        """
         if not self.count:
             return 0.0
+        if p <= 0:
+            return float(self.min if self.min is not None else 0)
+        if p >= 100:
+            return float(self.max if self.max is not None else 0)
         rank = p / 100.0 * self.count
         seen = 0
         for idx, n in enumerate(self.buckets):
@@ -126,15 +140,17 @@ class Histogram(Metric):
                 continue
             if seen + n >= rank:
                 lo, hi = self.bucket_bounds(idx)
-                lo = max(lo, self.min or lo)
-                hi = min(hi, self.max if self.max is not None else hi)
+                if self.min is not None:
+                    lo = max(lo, self.min)
+                if self.max is not None:
+                    hi = min(hi, self.max)
                 if n == 1 or hi <= lo:
-                    return float(min(hi, self.max or hi))
+                    return float(hi)
                 # Linear interpolation within the crossing bucket.
                 frac = (rank - seen) / n
                 return lo + frac * (hi - lo)
             seen += n
-        return float(self.max or 0)
+        return float(self.max if self.max is not None else 0)
 
     def snapshot(self) -> dict:
         out = {

@@ -43,7 +43,9 @@ class RunTelemetry:
         self.tracer = (ChromeTracer(cpu_freq_ghz, pid=pid,
                                     process_name=f"{benchmark}/{memory}")
                        if trace_enabled else NULL_TRACER)
-        self.started = time.time()
+        # Monotonic, not wall-clock: an NTP step or DST shift mid-run
+        # must not distort (or negate) the exported duration.
+        self.started = time.monotonic()
 
 
 class TelemetrySession:
@@ -55,7 +57,9 @@ class TelemetrySession:
         self.trace_enabled = trace_enabled
         self.cpu_freq_ghz = cpu_freq_ghz
         self.sample_interval = sample_interval
-        self.started = time.time()
+        # Durations come from the monotonic clock; time.time() remains
+        # only where an absolute timestamp is the point (created_unix).
+        self.started = time.monotonic()
         self._tracers: List[ChromeTracer] = []
         self.runs: List[dict] = []
         # Named event counters (retries, failures by kind, cache
@@ -83,7 +87,7 @@ class TelemetrySession:
         record = {
             "benchmark": run.benchmark,
             "memory": run.memory,
-            "wall_time_s": time.time() - run.started,
+            "wall_time_s": time.monotonic() - run.started,
             "summary": summary or {},
             "metrics": run.registry.snapshot(),
         }
@@ -124,7 +128,7 @@ class TelemetrySession:
     def manifest(self, config=None, seed: Optional[int] = None,
                  argv: Optional[List[str]] = None) -> dict:
         return run_manifest(config=config, seed=seed, argv=argv,
-                            wall_time_s=time.time() - self.started,
+                            wall_time_s=time.monotonic() - self.started,
                             extra={"num_runs": len(self.runs),
                                    "counters": dict(self.counters)})
 

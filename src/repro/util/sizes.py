@@ -1,0 +1,46 @@
+"""Human byte-size parsing/formatting shared by store budgets and CLI flags.
+
+``parse_size`` is the single parser behind every budget surface —
+``REPRO_CACHE_BUDGET``, ``repro serve --cache-budget/--manifest-budget``,
+and ``repro store gc --max-bytes`` — so "64M" means the same number of
+bytes everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Union
+
+_SIZE_UNITS = {"": 1, "b": 1,
+               "k": 1 << 10, "kb": 1 << 10, "kib": 1 << 10,
+               "m": 1 << 20, "mb": 1 << 20, "mib": 1 << 20,
+               "g": 1 << 30, "gb": 1 << 30, "gib": 1 << 30}
+
+
+def parse_size(text: Union[str, int, None]) -> Optional[int]:
+    """``"64M"``/``"1.5GiB"``/``4096`` → bytes; None/"" → None."""
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text
+    raw = str(text).strip().lower()
+    if not raw:
+        return None
+    match = re.fullmatch(r"(\d+(?:\.\d+)?)\s*([a-z]*)", raw)
+    if not match or match.group(2) not in _SIZE_UNITS:
+        raise ValueError(
+            f"cannot parse size {text!r}; use bytes or a K/M/G suffix "
+            "(e.g. 64M, 1.5GiB)")
+    return int(float(match.group(1)) * _SIZE_UNITS[match.group(2)])
+
+
+def format_size(n: Optional[int]) -> str:
+    if n is None:
+        return "unbounded"
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.1f}{unit}" if unit != "B"
+                    else f"{int(value)}B")
+        value /= 1024
+    return f"{n}B"  # pragma: no cover - unreachable
